@@ -1,0 +1,109 @@
+//! Experiment E1: per-bit-width low-level verification cost vs the single
+//! width-independent parametric proof.
+//!
+//! The per-width series (BDD proof of `acc == a*b` for the shift/add
+//! multiplier) grows exponentially in the width; the parametric check of
+//! the same design (its full VC set through the kernel) is a constant,
+//! width-independent cost. This is the paper's §1 motivation, measured.
+
+use chicala_chisel::elaborate;
+use chicala_lowlevel::bdd::Bdd;
+use chicala_lowlevel::{add_words, fresh_inputs, unroll, words_equal, Word};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+
+fn mul_reference(
+    bdd: &mut Bdd,
+    a: &Word<chicala_lowlevel::bdd::Ref>,
+    b: &Word<chicala_lowlevel::bdd::Ref>,
+) -> Word<chicala_lowlevel::bdd::Ref> {
+    let w = a.width() + b.width();
+    let mut acc = Word { bits: vec![chicala_lowlevel::bdd::FALSE; w], signed: false };
+    for (i, sel) in b.bits.iter().enumerate() {
+        let mut partial = vec![chicala_lowlevel::bdd::FALSE; i];
+        for j in 0..(w - i).min(a.width()) {
+            let gated = bdd.and(*sel, a.bits[j]);
+            partial.push(gated);
+        }
+        let pw = Word { bits: partial, signed: false };
+        acc = add_words(bdd, &acc, &pw, w);
+    }
+    acc
+}
+
+fn check_width(len: i64) -> usize {
+    let module = chicala_designs::rmul::module();
+    let em = elaborate(&module, &[("len".to_string(), len)].into_iter().collect())
+        .expect("elaborates");
+    let mut bdd = Bdd::new();
+    let inputs = fresh_inputs(
+        &em,
+        |name, i, b: &mut Bdd| {
+            let base = if name == "io_a" { 0 } else { 1 };
+            b.var((2 * i + base) as u32)
+        },
+        &mut bdd,
+    );
+    let st = unroll(&em, &mut bdd, &inputs, &BTreeMap::new(), len as usize + 1)
+        .expect("unrolls");
+    let reference = mul_reference(&mut bdd, &inputs["io_a"], &inputs["io_b"]);
+    let eq = words_equal(&mut bdd, &st.regs["acc"], &reference);
+    assert!(bdd.is_true(eq), "per-width proof failed at {len}");
+    bdd.node_count()
+}
+
+fn parametric_proof() -> usize {
+    let module = chicala_designs::rmul::module();
+    let out = chicala_core::transform(&module).expect("transforms");
+    let mut env = chicala_verify::Env::new();
+    chicala_bvlib::install_bitvec(&mut env).expect("library installs");
+    let report = chicala_verify::verify_design(
+        &mut env,
+        &out.program,
+        &chicala_designs::rmul::spec(),
+        &out.obligations,
+    )
+    .expect("parametric proof goes through");
+    report.proved()
+}
+
+fn e1(c: &mut Criterion) {
+    println!("\nE1: per-width BDD proof sizes (shift/add multiplier, acc == a*b):");
+    for len in 2i64..=8 {
+        let nodes = check_width(len);
+        println!("  width {len:>2}: {nodes:>9} BDD nodes");
+    }
+    println!("  (the parametric proof covers ALL widths with one width-independent check)\n");
+
+    let mut group = c.benchmark_group("e1/per_width_bdd");
+    group.sample_size(10);
+    for len in [2i64, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| check_width(std::hint::black_box(len)))
+        });
+    }
+    group.finish();
+
+    // The parametric proof is minutes-scale: run it here only on request
+    // (CHICALA_BENCH_PARAMETRIC=1); it is exercised and timed by the test
+    // suite (`rmul_verifies_for_all_widths`) either way. Its cost is a
+    // width-independent constant — the point of the comparison.
+    if std::env::var_os("CHICALA_BENCH_PARAMETRIC").is_some() {
+        let start = std::time::Instant::now();
+        let vcs = parametric_proof();
+        println!(
+            "  parametric proof (rmul, ALL widths): {} VCs in {:.1?} (width-independent)",
+            vcs,
+            start.elapsed()
+        );
+    } else {
+        println!(
+            "  parametric proof (rmul, ALL widths): width-independent constant; \
+             run the `rmul_verifies_for_all_widths` test or set \
+             CHICALA_BENCH_PARAMETRIC=1 to time it here"
+        );
+    }
+}
+
+criterion_group!(benches, e1);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment E3: co-simulation throughput — running the Chisel IR
+//! interpreter and the generated sequential program side by side (the
+//! validation the paper lists as future work).
+
+use chicala_bigint::BigInt;
+use chicala_chisel::{elaborate, Simulator};
+use chicala_core::transform;
+use chicala_seq::{SValue, SeqRunner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+
+fn cosim_cycles(len: i64, cycles: usize) {
+    let m = chicala_designs::rmul::module();
+    let em = elaborate(&m, &[("len".to_string(), len)].into_iter().collect())
+        .expect("elaborates");
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).expect("constructs");
+    let out = transform(&m).expect("transforms");
+    let runner = SeqRunner::new(
+        &out.program,
+        [("len".to_string(), BigInt::from(len))].into_iter().collect(),
+    );
+    let hw_in: BTreeMap<String, BigInt> = [
+        ("io_a".to_string(), BigInt::from(12345u64 & ((1 << len) - 1))),
+        ("io_b".to_string(), BigInt::from(6789u64 & ((1 << len) - 1))),
+    ]
+    .into_iter()
+    .collect();
+    let sw_in: BTreeMap<String, SValue> = hw_in
+        .iter()
+        .map(|(k, v)| (k.clone(), SValue::Int(v.clone())))
+        .collect();
+    let mut regs = runner.init_regs(&BTreeMap::new()).expect("inits");
+    for _ in 0..cycles {
+        let hw = sim.step(&hw_in).expect("hw");
+        let sw = runner.trans(&sw_in, &regs).expect("sw");
+        for (k, v) in &hw {
+            let got = match &sw.outputs[k] {
+                SValue::Int(i) => i.clone(),
+                SValue::Bool(b) => BigInt::from(*b),
+                SValue::List(_) => unreachable!("scalar ports"),
+            };
+            assert_eq!(*v, got, "divergence at output {k}");
+        }
+        regs = sw.regs;
+    }
+}
+
+fn e3(c: &mut Criterion) {
+    println!("\nE3: hardware/software co-simulation (divergence-checked every cycle)");
+    let mut group = c.benchmark_group("e3/cosim_rmul");
+    for len in [8i64, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| cosim_cycles(std::hint::black_box(len), len as usize + 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e3);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Table 1 (verification effort) and times the
+//! transformation itself for each case study.
+//!
+//! The absolute line counts differ from the paper (different host language,
+//! simplified pipeline control), but the *shape* matches: the
+//! transformation does not explode code size, and the manual proof effort
+//! is a small multiple of the generated program — with the X-multiplier
+//! the clear outlier, exactly as in the paper.
+
+use chicala_bench::{case_studies, effort_row, render_table1, EffortRow};
+use chicala_core::transform;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table1(c: &mut Criterion) {
+    let studies = case_studies();
+    let rows: Vec<EffortRow> = studies.iter().map(effort_row).collect();
+    println!("\n{}", render_table1(&rows));
+
+    let mut group = c.benchmark_group("table1/transform");
+    for cs in &studies {
+        group.bench_function(cs.name, |b| {
+            b.iter(|| transform(std::hint::black_box(&cs.module)).expect("transforms"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

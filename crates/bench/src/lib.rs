@@ -1,0 +1,129 @@
+//! Shared harness code for the benchmark suite: the artifacts and metrics
+//! each experiment reports, so benches and tests print the same rows the
+//! paper's evaluation contains.
+
+use chicala_chisel::{elaborate, Bindings, Module};
+use chicala_core::{transform, TransformOutput};
+use chicala_verify::DesignSpec;
+
+/// One case-study design with everything the experiments need.
+pub struct CaseStudy {
+    /// Display name, paper-style (`X-divider`, …).
+    pub name: &'static str,
+    /// The Chisel-subset module.
+    pub module: Module,
+    /// Its specification and proof scripts.
+    pub spec: DesignSpec,
+}
+
+/// All four case studies of Table 1, in the paper's row order.
+pub fn case_studies() -> Vec<CaseStudy> {
+    vec![
+        CaseStudy {
+            name: "X-divider",
+            module: chicala_designs::xdiv::module(),
+            spec: chicala_designs::xdiv::spec(),
+        },
+        CaseStudy {
+            name: "R-divider",
+            module: chicala_designs::rdiv::module(),
+            spec: chicala_designs::rdiv::spec(),
+        },
+        CaseStudy {
+            name: "X-multiplier",
+            module: chicala_designs::xmul::module(),
+            spec: chicala_designs::xmul::spec_full(),
+        },
+        CaseStudy {
+            name: "R-multiplier",
+            module: chicala_designs::rmul::module(),
+            spec: chicala_designs::rmul::spec(),
+        },
+    ]
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct EffortRow {
+    /// Design name.
+    pub name: &'static str,
+    /// Lines of the Chisel-style source.
+    pub chisel_loc: usize,
+    /// Lines of the emitted 64-bit Verilog.
+    pub verilog_loc: usize,
+    /// Lines of the generated sequential program.
+    pub scala_loc: usize,
+    /// Lines including annotations, lemmas, and proof scripts.
+    pub scala_vrf_loc: usize,
+}
+
+impl EffortRow {
+    /// `#Scala / #Chisel` — the transformation blow-up factor.
+    pub fn transform_ratio(&self) -> f64 {
+        self.scala_loc as f64 / self.chisel_loc as f64
+    }
+
+    /// `#Scala-vrf / #Scala` — the manual proof-effort factor.
+    pub fn proof_ratio(&self) -> f64 {
+        self.scala_vrf_loc as f64 / self.scala_loc as f64
+    }
+}
+
+/// Computes a Table 1 row for one case study (`#Verilog` at 64 bits, as in
+/// the paper).
+pub fn effort_row(cs: &CaseStudy) -> EffortRow {
+    let bindings: Bindings = [("len".to_string(), 64i64)].into_iter().collect();
+    let em = elaborate(&cs.module, &bindings).expect("case studies elaborate at 64 bits");
+    let out: TransformOutput = transform(&cs.module).expect("case studies transform");
+    let scala_loc = out.program.source_loc();
+    EffortRow {
+        name: cs.name,
+        chisel_loc: cs.module.source_loc(),
+        verilog_loc: chicala_lowlevel::verilog_loc(&em),
+        scala_loc,
+        scala_vrf_loc: scala_loc + cs.spec.annotation_loc(),
+    }
+}
+
+/// Renders Table 1 in the paper's format.
+pub fn render_table1(rows: &[EffortRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Verification Effort\n");
+    out.push_str(&format!(
+        "{:<14} {:>20} {:>16} {:>18}\n",
+        "Design", "#Chisel (#Verilog)", "#Scala", "#Scala-vrf"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>11} ({:>5}) {:>9} ({:>4.1}x) {:>10} ({:>4.1}x)\n",
+            r.name,
+            r.chisel_loc,
+            r.verilog_loc,
+            r.scala_loc,
+            r.transform_ratio(),
+            r.scala_vrf_loc,
+            r.proof_ratio(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_are_sane() {
+        let rows: Vec<EffortRow> = case_studies().iter().map(effort_row).collect();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.chisel_loc > 10, "{}: {}", r.name, r.chisel_loc);
+            assert!(r.verilog_loc > r.chisel_loc / 2, "{}", r.name);
+            assert!(r.scala_loc > 0 && r.scala_vrf_loc > r.scala_loc, "{}", r.name);
+            // The paper's headline claim: the transformation does not
+            // explode code size (2.3x at most there; allow headroom).
+            assert!(r.transform_ratio() < 4.0, "{}: {:.1}", r.name, r.transform_ratio());
+        }
+        println!("{}", render_table1(&rows));
+    }
+}

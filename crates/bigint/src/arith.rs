@@ -1,0 +1,239 @@
+//! Signed ring arithmetic and division for [`BigInt`].
+
+use crate::{limbs, BigInt, Sign};
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+impl BigInt {
+    /// Truncating division with remainder, matching Scala's `BigInt` (and
+    /// Rust's primitive) semantics: the quotient rounds toward zero and the
+    /// remainder takes the dividend's sign.
+    ///
+    /// ```
+    /// # use chicala_bigint::BigInt;
+    /// let (q, r) = BigInt::from(-7).div_rem(&BigInt::from(2));
+    /// assert_eq!((q, r), (BigInt::from(-3), BigInt::from(-1)));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigInt) -> (BigInt, BigInt) {
+        assert!(!divisor.is_zero(), "division by zero");
+        let (q_mag, r_mag) = limbs::div_rem(&self.mag, &divisor.mag);
+        let q_sign = if self.sign == divisor.sign { Sign::Plus } else { Sign::Minus };
+        (
+            BigInt::from_sign_magnitude(q_sign, q_mag),
+            BigInt::from_sign_magnitude(self.sign, r_mag),
+        )
+    }
+
+    /// Flooring division: rounds toward negative infinity. On non-negative
+    /// operands this coincides with [`BigInt::div_rem`]; it is the division
+    /// the paper's integer bit-vector lemmas are stated over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_floor(&self, divisor: &BigInt) -> BigInt {
+        let (q, r) = self.div_rem(divisor);
+        if r.is_zero() || (r.is_negative() == divisor.is_negative()) {
+            q
+        } else {
+            q - BigInt::one()
+        }
+    }
+
+    /// Flooring remainder: always has the divisor's sign (non-negative for a
+    /// positive divisor, e.g. `Pow2(w)`).
+    ///
+    /// ```
+    /// # use chicala_bigint::BigInt;
+    /// assert_eq!(BigInt::from(-1).mod_floor(&BigInt::pow2(4)), BigInt::from(15));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn mod_floor(&self, divisor: &BigInt) -> BigInt {
+        let (_, r) = self.div_rem(divisor);
+        if r.is_zero() || (r.is_negative() == divisor.is_negative()) {
+            r
+        } else {
+            r + divisor.clone()
+        }
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u64) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+}
+
+fn add_signed(a: &BigInt, b: &BigInt) -> BigInt {
+    if a.sign == b.sign {
+        return BigInt::from_sign_magnitude(a.sign, limbs::add(&a.mag, &b.mag));
+    }
+    match limbs::cmp(&a.mag, &b.mag) {
+        Ordering::Equal => BigInt::zero(),
+        Ordering::Greater => BigInt::from_sign_magnitude(a.sign, limbs::sub(&a.mag, &b.mag)),
+        Ordering::Less => BigInt::from_sign_magnitude(b.sign, limbs::sub(&b.mag, &a.mag)),
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        if self.is_zero() {
+            self
+        } else {
+            let sign = match self.sign {
+                Sign::Plus => Sign::Minus,
+                Sign::Minus => Sign::Plus,
+            };
+            BigInt { sign, mag: self.mag }
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                let f: fn(&BigInt, &BigInt) -> BigInt = $impl_fn;
+                f(self, rhs)
+            }
+        }
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_signed);
+forward_binop!(Sub, sub, |a, b| add_signed(a, &-b.clone()));
+forward_binop!(Mul, mul, |a: &BigInt, b: &BigInt| {
+    let sign = if a.sign == b.sign { Sign::Plus } else { Sign::Minus };
+    BigInt::from_sign_magnitude(sign, limbs::mul(&a.mag, &b.mag))
+});
+forward_binop!(Div, div, |a: &BigInt, b: &BigInt| a.div_rem(b).0);
+forward_binop!(Rem, rem, |a: &BigInt, b: &BigInt| a.div_rem(b).1);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigInt;
+
+    fn b(x: i128) -> BigInt {
+        BigInt::from(x)
+    }
+
+    #[test]
+    fn signed_addition_all_sign_combos() {
+        for (x, y) in [(5i128, 3), (5, -3), (-5, 3), (-5, -3), (3, -5), (-3, 5), (0, -7)] {
+            assert_eq!(b(x) + b(y), b(x + y), "{x} + {y}");
+            assert_eq!(b(x) - b(y), b(x - y), "{x} - {y}");
+        }
+    }
+
+    #[test]
+    fn signed_multiplication() {
+        for (x, y) in [(5i128, 3), (5, -3), (-5, 3), (-5, -3), (0, -7)] {
+            assert_eq!(b(x) * b(y), b(x * y), "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn truncating_division_matches_primitive() {
+        for (x, y) in [(7i128, 2), (-7, 2), (7, -2), (-7, -2), (6, 3), (-6, 3)] {
+            let (q, r) = b(x).div_rem(&b(y));
+            assert_eq!(q, b(x / y), "{x} / {y}");
+            assert_eq!(r, b(x % y), "{x} % {y}");
+        }
+    }
+
+    #[test]
+    fn floor_division() {
+        assert_eq!(b(-7).div_floor(&b(2)), b(-4));
+        assert_eq!(b(-7).mod_floor(&b(2)), b(1));
+        assert_eq!(b(7).div_floor(&b(2)), b(3));
+        assert_eq!(b(7).mod_floor(&b(-2)), b(-1));
+        assert_eq!(b(-8).div_floor(&b(2)), b(-4));
+        assert_eq!(b(-8).mod_floor(&b(2)), b(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = b(1).div_rem(&BigInt::zero());
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(b(3).pow(0), b(1));
+        assert_eq!(b(3).pow(5), b(243));
+        assert_eq!(b(2).pow(100), BigInt::pow2(100));
+        assert_eq!(b(-2).pow(3), b(-8));
+        assert_eq!(b(-2).pow(4), b(16));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = b(10);
+        x += &b(5);
+        x -= &b(3);
+        x *= &b(2);
+        assert_eq!(x, b(24));
+    }
+}

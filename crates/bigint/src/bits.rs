@@ -1,0 +1,228 @@
+//! Bit-level views of [`BigInt`]: bit length, bit access, shifts, bitwise
+//! operations, and the width-bounded two's-complement conversions used to
+//! model `UInt`/`SInt` signals.
+
+use crate::{limbs, BigInt, Sign};
+use std::ops::{BitAnd, BitOr, BitXor, Shl, Shr};
+
+impl BigInt {
+    /// Number of significant bits of the magnitude; `0` for zero.
+    ///
+    /// ```
+    /// # use chicala_bigint::BigInt;
+    /// assert_eq!(BigInt::from(0b1011).bit_len(), 4);
+    /// assert_eq!(BigInt::zero().bit_len(), 0);
+    /// ```
+    pub fn bit_len(&self) -> u64 {
+        limbs::bit_len(&self.mag)
+    }
+
+    /// Bit `i` of the magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is negative: callers must first map into an unsigned
+    /// representation with [`BigInt::to_unsigned`].
+    pub fn bit(&self, i: u64) -> bool {
+        assert!(!self.is_negative(), "bit access on a negative value; use to_unsigned first");
+        limbs::get_bit(&self.mag, i)
+    }
+
+    /// Returns a copy with bit `i` forced to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is negative.
+    pub fn with_bit(&self, i: u64, value: bool) -> BigInt {
+        assert!(!self.is_negative(), "bit update on a negative value; use to_unsigned first");
+        let limb = (i / 64) as usize;
+        let mut mag = self.mag.clone();
+        if mag.len() <= limb {
+            mag.resize(limb + 1, 0);
+        }
+        if value {
+            mag[limb] |= 1u64 << (i % 64);
+        } else {
+            mag[limb] &= !(1u64 << (i % 64));
+        }
+        BigInt::from_sign_magnitude(Sign::Plus, mag)
+    }
+
+    /// Interprets the low `width` bits of this (possibly negative) integer as
+    /// an unsigned value: `self mod 2^width`, always in `[0, 2^width)`. This
+    /// is how an `SInt` payload is viewed as raw bits.
+    ///
+    /// ```
+    /// # use chicala_bigint::BigInt;
+    /// assert_eq!(BigInt::from(-1).to_unsigned(4), BigInt::from(15));
+    /// assert_eq!(BigInt::from(19).to_unsigned(4), BigInt::from(3));
+    /// ```
+    pub fn to_unsigned(&self, width: u64) -> BigInt {
+        self.mod_floor(&BigInt::pow2(width))
+    }
+
+    /// Interprets the low `width` bits as a two's-complement signed value in
+    /// `[-2^(width-1), 2^(width-1))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn to_signed(&self, width: u64) -> BigInt {
+        assert!(width > 0, "signed reinterpretation needs width > 0");
+        let u = self.to_unsigned(width);
+        let half = BigInt::pow2(width - 1);
+        if u < half {
+            u
+        } else {
+            u - BigInt::pow2(width)
+        }
+    }
+
+    /// Number of one bits in the magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is negative.
+    pub fn count_ones(&self) -> u64 {
+        assert!(!self.is_negative(), "popcount on a negative value; use to_unsigned first");
+        self.mag.iter().map(|l| l.count_ones() as u64).sum()
+    }
+}
+
+fn nonneg(x: &BigInt, op: &str) {
+    assert!(
+        !x.is_negative(),
+        "bitwise {op} on a negative value; map through to_unsigned(width) first"
+    );
+}
+
+macro_rules! bitwise {
+    ($trait:ident, $method:ident, $name:literal, $f:expr) => {
+        impl $trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                nonneg(self, $name);
+                nonneg(rhs, $name);
+                BigInt::from_sign_magnitude(Sign::Plus, limbs::zip_bits(&self.mag, &rhs.mag, $f))
+            }
+        }
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+bitwise!(BitAnd, bitand, "and", |a, b| a & b);
+bitwise!(BitOr, bitor, "or", |a, b| a | b);
+bitwise!(BitXor, bitxor, "xor", |a, b| a ^ b);
+
+impl BigInt {
+    /// Bitwise NOT within `width` bits: `2^width - 1 - (self mod 2^width)`.
+    pub fn not_within(&self, width: u64) -> BigInt {
+        BigInt::pow2(width) - BigInt::one() - self.to_unsigned(width)
+    }
+}
+
+impl Shl<u64> for &BigInt {
+    type Output = BigInt;
+    fn shl(self, bits: u64) -> BigInt {
+        BigInt::from_sign_magnitude(self.sign, limbs::shl(&self.mag, bits))
+    }
+}
+
+impl Shl<u64> for BigInt {
+    type Output = BigInt;
+    fn shl(self, bits: u64) -> BigInt {
+        &self << bits
+    }
+}
+
+impl Shr<u64> for &BigInt {
+    type Output = BigInt;
+    fn shr(self, bits: u64) -> BigInt {
+        // Arithmetic shift: floor division by 2^bits, so -1 >> k == -1.
+        self.div_floor(&BigInt::pow2(bits))
+    }
+}
+
+impl Shr<u64> for BigInt {
+    type Output = BigInt;
+    fn shr(self, bits: u64) -> BigInt {
+        &self >> bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigInt;
+
+    fn b(x: i128) -> BigInt {
+        BigInt::from(x)
+    }
+
+    #[test]
+    fn bit_access_and_update() {
+        let x = b(0b1010);
+        assert!(x.bit(1) && x.bit(3));
+        assert!(!x.bit(0) && !x.bit(2) && !x.bit(100));
+        assert_eq!(x.with_bit(0, true), b(0b1011));
+        assert_eq!(x.with_bit(3, false), b(0b0010));
+        assert_eq!(x.with_bit(70, true), b(0b1010) + BigInt::pow2(70));
+    }
+
+    #[test]
+    fn twos_complement_views() {
+        assert_eq!(b(-1).to_unsigned(8), b(255));
+        assert_eq!(b(255).to_signed(8), b(-1));
+        assert_eq!(b(127).to_signed(8), b(127));
+        assert_eq!(b(128).to_signed(8), b(-128));
+        assert_eq!(b(-300).to_unsigned(8).to_signed(8), b(-300 + 256));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(b(0b1100) & b(0b1010), b(0b1000));
+        assert_eq!(b(0b1100) | b(0b1010), b(0b1110));
+        assert_eq!(b(0b1100) ^ b(0b1010), b(0b0110));
+        assert_eq!(b(0b0101).not_within(4), b(0b1010));
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwise and")]
+    fn bitwise_on_negative_panics() {
+        let _ = b(-1) & b(1);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(b(5) << 3, b(40));
+        assert_eq!(b(40) >> 3, b(5));
+        assert_eq!(b(41) >> 3, b(5));
+        // Arithmetic right shift on negatives rounds toward -inf.
+        assert_eq!(b(-1) >> 5, b(-1));
+        assert_eq!(b(-41) >> 3, b(-6));
+        assert_eq!(b(-5) << 2, b(-20));
+    }
+
+    #[test]
+    fn count_ones() {
+        assert_eq!(BigInt::zero().count_ones(), 0);
+        assert_eq!(b(0b1011).count_ones(), 3);
+        assert_eq!((BigInt::pow2(100) - BigInt::one()).count_ones(), 100);
+    }
+}

@@ -1,0 +1,225 @@
+//! Conversions between [`BigInt`] and primitive integers / strings.
+
+use crate::{BigInt, Sign};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(x: $t) -> BigInt {
+                BigInt::from_sign_magnitude(Sign::Plus, vec![x as u64])
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(x: $t) -> BigInt {
+                let sign = if x < 0 { Sign::Minus } else { Sign::Plus };
+                BigInt::from_sign_magnitude(sign, vec![(x as i128).unsigned_abs() as u64])
+            }
+        }
+    )*};
+}
+
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<u128> for BigInt {
+    fn from(x: u128) -> BigInt {
+        BigInt::from_sign_magnitude(Sign::Plus, vec![x as u64, (x >> 64) as u64])
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(x: i128) -> BigInt {
+        let sign = if x < 0 { Sign::Minus } else { Sign::Plus };
+        let m = x.unsigned_abs();
+        BigInt::from_sign_magnitude(sign, vec![m as u64, (m >> 64) as u64])
+    }
+}
+
+impl From<bool> for BigInt {
+    fn from(x: bool) -> BigInt {
+        if x {
+            BigInt::one()
+        } else {
+            BigInt::zero()
+        }
+    }
+}
+
+/// Error returned when a [`BigInt`] does not fit the requested primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TryFromBigIntError;
+
+impl fmt::Display for TryFromBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value out of range for the target integer type")
+    }
+}
+
+impl Error for TryFromBigIntError {}
+
+impl TryFrom<&BigInt> for i128 {
+    type Error = TryFromBigIntError;
+    fn try_from(x: &BigInt) -> Result<i128, TryFromBigIntError> {
+        if x.mag.len() > 2 {
+            return Err(TryFromBigIntError);
+        }
+        let lo = x.mag.first().copied().unwrap_or(0) as u128;
+        let hi = x.mag.get(1).copied().unwrap_or(0) as u128;
+        let m = (hi << 64) | lo;
+        match x.sign {
+            Sign::Plus if m <= i128::MAX as u128 => Ok(m as i128),
+            Sign::Minus if m <= i128::MAX as u128 + 1 => Ok((m as i128).wrapping_neg()),
+            _ => Err(TryFromBigIntError),
+        }
+    }
+}
+
+impl TryFrom<&BigInt> for u64 {
+    type Error = TryFromBigIntError;
+    fn try_from(x: &BigInt) -> Result<u64, TryFromBigIntError> {
+        if x.is_negative() || x.mag.len() > 1 {
+            return Err(TryFromBigIntError);
+        }
+        Ok(x.mag.first().copied().unwrap_or(0))
+    }
+}
+
+impl TryFrom<&BigInt> for u128 {
+    type Error = TryFromBigIntError;
+    fn try_from(x: &BigInt) -> Result<u128, TryFromBigIntError> {
+        if x.is_negative() || x.mag.len() > 2 {
+            return Err(TryFromBigIntError);
+        }
+        let lo = x.mag.first().copied().unwrap_or(0) as u128;
+        let hi = x.mag.get(1).copied().unwrap_or(0) as u128;
+        Ok((hi << 64) | lo)
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "empty string is not a valid integer"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer literal"),
+        }
+    }
+}
+
+impl Error for ParseBigIntError {}
+
+impl BigInt {
+    /// Parses a string in the given radix (2, 10, or 16). A leading `-` is
+    /// accepted; underscores are ignored as digit separators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigIntError`] on an empty string or an invalid digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is not 2, 10, or 16.
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<BigInt, ParseBigIntError> {
+        assert!(matches!(radix, 2 | 10 | 16), "unsupported radix {radix}");
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let mut acc = BigInt::zero();
+        let base = BigInt::from(radix);
+        let mut any = false;
+        for c in digits.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(radix).ok_or(ParseBigIntError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            acc = acc * base.clone() + BigInt::from(d);
+            any = true;
+        }
+        if !any {
+            return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+        }
+        Ok(if neg { -acc } else { acc })
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    /// Parses a decimal literal, accepting `0x`/`0b` prefixes for hex/binary.
+    fn from_str(s: &str) -> Result<BigInt, ParseBigIntError> {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let v = if let Some(hex) = body.strip_prefix("0x") {
+            BigInt::from_str_radix(hex, 16)?
+        } else if let Some(bin) = body.strip_prefix("0b") {
+            BigInt::from_str_radix(bin, 2)?
+        } else {
+            BigInt::from_str_radix(body, 10)?
+        };
+        Ok(if neg { -v } else { v })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        for x in [0i128, 1, -1, i64::MAX as i128, i64::MIN as i128, i128::MAX, i128::MIN] {
+            let b = BigInt::from(x);
+            assert_eq!(i128::try_from(&b), Ok(x), "{x}");
+        }
+        assert_eq!(u64::try_from(&BigInt::from(u64::MAX)), Ok(u64::MAX));
+        assert!(u64::try_from(&BigInt::from(-1)).is_err());
+        assert!(u64::try_from(&BigInt::pow2(64)).is_err());
+        assert!(i128::try_from(&BigInt::pow2(127)).is_err());
+        assert_eq!(i128::try_from(&-BigInt::pow2(127)), Ok(i128::MIN));
+        assert_eq!(u128::try_from(&BigInt::pow2(127)), Ok(1u128 << 127));
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("0".parse::<BigInt>().unwrap(), BigInt::zero());
+        assert_eq!("-42".parse::<BigInt>().unwrap(), BigInt::from(-42));
+        assert_eq!("0xff".parse::<BigInt>().unwrap(), BigInt::from(255));
+        assert_eq!("0b1010".parse::<BigInt>().unwrap(), BigInt::from(10));
+        assert_eq!("-0x10".parse::<BigInt>().unwrap(), BigInt::from(-16));
+        assert_eq!("1_000_000".parse::<BigInt>().unwrap(), BigInt::from(1_000_000));
+        assert!("".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        let huge = "123456789012345678901234567890".parse::<BigInt>().unwrap();
+        assert_eq!(huge.to_string(), "123456789012345678901234567890");
+    }
+
+    #[test]
+    fn bool_conversion() {
+        assert_eq!(BigInt::from(true), BigInt::one());
+        assert_eq!(BigInt::from(false), BigInt::zero());
+    }
+}

@@ -1,0 +1,117 @@
+//! Formatting impls: decimal `Display`, plus `LowerHex`/`UpperHex`/`Binary`
+//! for the bit-vector-flavoured uses (C-NUM-FMT).
+
+use crate::{limbs, BigInt};
+use std::fmt;
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeated short division by the largest power of ten in a limb.
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+        let mut mag = self.mag.clone();
+        let mut groups: Vec<u64> = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = limbs::div_rem_limb(&mag, CHUNK);
+            groups.push(r);
+            mag = q;
+        }
+        let mut s = groups.last().map(|g| g.to_string()).unwrap_or_default();
+        for g in groups.iter().rev().skip(1) {
+            s.push_str(&format!("{g:019}"));
+        }
+        f.pad_integral(!self.is_negative(), "", &s)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+fn fmt_radix(
+    x: &BigInt,
+    f: &mut fmt::Formatter<'_>,
+    prefix: &str,
+    digit: impl Fn(&[u64]) -> (String, u64),
+) -> fmt::Result {
+    if x.is_zero() {
+        return f.pad_integral(true, prefix, "0");
+    }
+    let (s, _) = digit(&x.mag);
+    f.pad_integral(!x.is_negative(), prefix, &s)
+}
+
+impl fmt::LowerHex for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_radix(self, f, "0x", |mag| {
+            let mut s = format!("{:x}", mag.last().expect("nonzero"));
+            for l in mag.iter().rev().skip(1) {
+                s.push_str(&format!("{l:016x}"));
+            }
+            (s, 16)
+        })
+    }
+}
+
+impl fmt::UpperHex for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_radix(self, f, "0x", |mag| {
+            let mut s = format!("{:X}", mag.last().expect("nonzero"));
+            for l in mag.iter().rev().skip(1) {
+                s.push_str(&format!("{l:016X}"));
+            }
+            (s, 16)
+        })
+    }
+}
+
+impl fmt::Binary for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_radix(self, f, "0b", |mag| {
+            let mut s = format!("{:b}", mag.last().expect("nonzero"));
+            for l in mag.iter().rev().skip(1) {
+                s.push_str(&format!("{l:064b}"));
+            }
+            (s, 2)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigInt;
+
+    #[test]
+    fn decimal_display() {
+        assert_eq!(BigInt::zero().to_string(), "0");
+        assert_eq!(BigInt::from(-12345).to_string(), "-12345");
+        assert_eq!(BigInt::pow2(64).to_string(), "18446744073709551616");
+        assert_eq!(
+            BigInt::pow2(128).to_string(),
+            "340282366920938463463374607431768211456"
+        );
+    }
+
+    #[test]
+    fn hex_and_binary() {
+        assert_eq!(format!("{:x}", BigInt::from(255)), "ff");
+        assert_eq!(format!("{:X}", BigInt::from(255)), "FF");
+        assert_eq!(format!("{:#x}", BigInt::from(255)), "0xff");
+        assert_eq!(format!("{:b}", BigInt::from(10)), "1010");
+        assert_eq!(format!("{:x}", BigInt::pow2(68)), "100000000000000000");
+        assert_eq!(format!("{:x}", -BigInt::from(16)), "-10");
+        assert_eq!(format!("{:b}", BigInt::zero()), "0");
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for s in ["0", "-1", "987654321098765432109876543210", "-340282366920938463463374607431768211456"] {
+            let x: BigInt = s.parse().unwrap();
+            assert_eq!(x.to_string(), s);
+        }
+    }
+}

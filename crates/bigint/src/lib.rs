@@ -1,0 +1,215 @@
+//! Arbitrary-precision signed integers for modelling Chisel bit-vectors.
+//!
+//! The DAC'24 paper models Chisel `UInt`/`SInt` values as *bounded
+//! mathematical integers* (Scala's `BigInt` plus a width) rather than as SMT
+//! bit-vectors, because the verified designs are parameterized by bit width.
+//! This crate is the Rust stand-in for Scala's `BigInt`: a sign-magnitude
+//! arbitrary-precision integer with exactly the operations the rest of the
+//! workspace needs — ring arithmetic, truncating and flooring division,
+//! powers of two, shifts, bit access, and bitwise operations on non-negative
+//! values.
+//!
+//! # Examples
+//!
+//! ```
+//! use chicala_bigint::BigInt;
+//!
+//! let a = BigInt::from(1u64 << 62) * BigInt::from(12345);
+//! let b = BigInt::pow2(40);
+//! let (q, r) = a.div_rem(&b);
+//! assert_eq!(&q * &b + &r, a);
+//! assert!(r >= BigInt::zero() && r < b);
+//! ```
+
+mod arith;
+mod bits;
+mod convert;
+mod fmt;
+mod limbs;
+
+use std::cmp::Ordering;
+
+/// Sign of a [`BigInt`]. Zero is always represented with [`Sign::Plus`] and
+/// an empty magnitude.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Non-negative values.
+    Plus,
+    /// Strictly negative values.
+    Minus,
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// Representation: sign + little-endian base-2⁶⁴ magnitude with no trailing
+/// zero limbs; the value zero is `(Plus, [])`. This invariant is maintained
+/// by every constructor and operation.
+///
+/// # Examples
+///
+/// ```
+/// use chicala_bigint::BigInt;
+/// let x: BigInt = "340282366920938463463374607431768211456".parse()?; // 2^128
+/// assert_eq!(x, BigInt::pow2(128));
+/// # Ok::<(), chicala_bigint::ParseBigIntError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: Vec<u64>,
+}
+
+impl BigInt {
+    /// The value `0`.
+    ///
+    /// ```
+    /// # use chicala_bigint::BigInt;
+    /// assert!(BigInt::zero().is_zero());
+    /// ```
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Plus, mag: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Plus, mag: vec![1] }
+    }
+
+    /// `2^exp`, the workhorse of the integer bit-vector model (the paper's
+    /// `Pow2`).
+    ///
+    /// ```
+    /// # use chicala_bigint::BigInt;
+    /// assert_eq!(BigInt::pow2(0), BigInt::from(1));
+    /// assert_eq!(BigInt::pow2(65), BigInt::from(2) * BigInt::from(u64::MAX) + BigInt::from(2));
+    /// ```
+    pub fn pow2(exp: u64) -> Self {
+        let limb = (exp / 64) as usize;
+        let off = exp % 64;
+        let mut mag = vec![0u64; limb + 1];
+        mag[limb] = 1u64 << off;
+        BigInt { sign: Sign::Plus, mag }
+    }
+
+    /// Builds a value from a sign and little-endian magnitude, normalising.
+    pub fn from_sign_magnitude(sign: Sign, mut mag: Vec<u64>) -> Self {
+        limbs::trim(&mut mag);
+        if mag.is_empty() {
+            return BigInt::zero();
+        }
+        BigInt { sign, mag }
+    }
+
+    /// Whether the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// Whether the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.mag == [1]
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Whether the value is even.
+    pub fn is_even(&self) -> bool {
+        self.mag.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Sign of the value; zero reports [`Sign::Plus`].
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt { sign: Sign::Plus, mag: self.mag.clone() }
+    }
+
+    /// Little-endian limbs of the magnitude (no trailing zeros).
+    pub fn magnitude(&self) -> &[u64] {
+        &self.mag
+    }
+
+    fn cmp_value(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => limbs::cmp(&self.mag, &other.mag),
+            (Sign::Minus, Sign::Minus) => limbs::cmp(&other.mag, &self.mag),
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_value(other)
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+pub use convert::ParseBigIntError;
+pub use convert::TryFromBigIntError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalised() {
+        let z = BigInt::from_sign_magnitude(Sign::Minus, vec![0, 0]);
+        assert!(z.is_zero());
+        assert_eq!(z.sign(), Sign::Plus);
+        assert_eq!(z, BigInt::zero());
+    }
+
+    #[test]
+    fn pow2_limb_boundaries() {
+        for e in [0u64, 1, 63, 64, 65, 127, 128, 200] {
+            let p = BigInt::pow2(e);
+            assert_eq!(p.bit_len(), e + 1, "pow2({e})");
+            assert!(p.bit(e));
+            if e > 0 {
+                assert!(!p.bit(e - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        let neg = -BigInt::from(5);
+        let pos = BigInt::from(3);
+        assert!(neg < pos);
+        assert!(neg < BigInt::zero());
+        assert!(pos > BigInt::zero());
+        assert!(-BigInt::from(7) < -BigInt::from(3));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(BigInt::default(), BigInt::zero());
+    }
+
+    #[test]
+    fn even_odd() {
+        assert!(BigInt::zero().is_even());
+        assert!(!BigInt::from(7).is_even());
+        assert!(BigInt::from(10).is_even());
+        assert!(!(-BigInt::from(3)).is_even());
+    }
+}

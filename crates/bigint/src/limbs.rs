@@ -1,0 +1,290 @@
+//! Low-level unsigned magnitude arithmetic on little-endian `u64` limb
+//! vectors. All functions expect normalised inputs (no trailing zero limbs)
+//! unless stated otherwise, and return normalised outputs.
+
+use std::cmp::Ordering;
+
+/// Removes trailing zero limbs in place.
+pub(crate) fn trim(mag: &mut Vec<u64>) {
+    while mag.last() == Some(&0) {
+        mag.pop();
+    }
+}
+
+/// Compares two magnitudes.
+pub(crate) fn cmp(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `a + b`.
+pub(crate) fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = short.get(i).copied().unwrap_or(0);
+        let (t, c1) = long[i].overflowing_add(s);
+        let (t, c2) = t.overflowing_add(carry);
+        carry = (c1 as u64) + (c2 as u64);
+        out.push(t);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a - b`; requires `a >= b`.
+pub(crate) fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(cmp(a, b) != Ordering::Less, "limb sub underflow");
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let s = b.get(i).copied().unwrap_or(0);
+        let (t, b1) = a[i].overflowing_sub(s);
+        let (t, b2) = t.overflowing_sub(borrow);
+        borrow = (b1 as u64) + (b2 as u64);
+        out.push(t);
+    }
+    debug_assert_eq!(borrow, 0);
+    trim(&mut out);
+    out
+}
+
+/// Schoolbook `a * b`.
+pub(crate) fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + (x as u128) * (y as u128) + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+/// `a << bits`.
+pub(crate) fn shl(a: &[u64], bits: u64) -> Vec<u64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let limb_shift = (bits / 64) as usize;
+    let bit_shift = (bits % 64) as u32;
+    let mut out = vec![0u64; limb_shift];
+    if bit_shift == 0 {
+        out.extend_from_slice(a);
+    } else {
+        let mut carry = 0u64;
+        for &x in a {
+            out.push((x << bit_shift) | carry);
+            carry = x >> (64 - bit_shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+/// `a >> bits` (logical; drops low bits).
+pub(crate) fn shr(a: &[u64], bits: u64) -> Vec<u64> {
+    let limb_shift = (bits / 64) as usize;
+    if limb_shift >= a.len() {
+        return Vec::new();
+    }
+    let bit_shift = (bits % 64) as u32;
+    let mut out: Vec<u64> = if bit_shift == 0 {
+        a[limb_shift..].to_vec()
+    } else {
+        let src = &a[limb_shift..];
+        let mut v = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let hi = src.get(i + 1).copied().unwrap_or(0);
+            v.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+        }
+        v
+    };
+    trim(&mut out);
+    out
+}
+
+/// Divides by a single limb; returns `(quotient, remainder)`.
+pub(crate) fn div_rem_limb(a: &[u64], d: u64) -> (Vec<u64>, u64) {
+    debug_assert!(d != 0, "division by zero limb");
+    let mut q = vec![0u64; a.len()];
+    let mut rem = 0u128;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << 64) | a[i] as u128;
+        q[i] = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    trim(&mut q);
+    (q, rem as u64)
+}
+
+/// Long division `a / b`; returns `(quotient, remainder)`.
+///
+/// Uses single-limb short division when possible and binary long division
+/// otherwise. Magnitudes in this workspace stay small (a few hundred bits),
+/// so the binary path's O(n·bits) cost is acceptable.
+pub(crate) fn div_rem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    assert!(!b.is_empty(), "division by zero");
+    match cmp(a, b) {
+        Ordering::Less => return (Vec::new(), a.to_vec()),
+        Ordering::Equal => return (vec![1], Vec::new()),
+        Ordering::Greater => {}
+    }
+    if b.len() == 1 {
+        let (q, r) = div_rem_limb(a, b[0]);
+        return (q, if r == 0 { Vec::new() } else { vec![r] });
+    }
+    let a_bits = bit_len(a);
+    let b_bits = bit_len(b);
+    let mut quot = vec![0u64; a.len()];
+    // Seed the remainder with the top b_bits-1 bits of a, then bring down one
+    // bit at a time.
+    let seed = b_bits - 1;
+    let mut rem = shr(a, a_bits - seed);
+    let mut i = a_bits - seed;
+    while i > 0 {
+        i -= 1;
+        rem = shl(&rem, 1);
+        if get_bit(a, i) {
+            if rem.is_empty() {
+                rem.push(1);
+            } else {
+                rem[0] |= 1;
+            }
+        }
+        if cmp(&rem, b) != Ordering::Less {
+            rem = sub(&rem, b);
+            quot[(i / 64) as usize] |= 1u64 << (i % 64);
+        }
+    }
+    trim(&mut quot);
+    (quot, rem)
+}
+
+/// Number of significant bits (0 for the empty magnitude).
+pub(crate) fn bit_len(a: &[u64]) -> u64 {
+    match a.last() {
+        None => 0,
+        Some(&top) => (a.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+    }
+}
+
+/// Bit `i` of the magnitude (false beyond the top).
+pub(crate) fn get_bit(a: &[u64], i: u64) -> bool {
+    let limb = (i / 64) as usize;
+    match a.get(limb) {
+        None => false,
+        Some(&l) => (l >> (i % 64)) & 1 == 1,
+    }
+}
+
+/// Pointwise binary operation, zero-extending the shorter input.
+pub(crate) fn zip_bits(a: &[u64], b: &[u64], f: impl Fn(u64, u64) -> u64) -> Vec<u64> {
+    let n = a.len().max(b.len());
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(f(a.get(i).copied().unwrap_or(0), b.get(i).copied().unwrap_or(0)));
+    }
+    trim(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u128) -> Vec<u64> {
+        let mut m = vec![x as u64, (x >> 64) as u64];
+        trim(&mut m);
+        m
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        assert_eq!(add(&[u64::MAX], &[1]), vec![0, 1]);
+        assert_eq!(add(&[u64::MAX, u64::MAX], &[1]), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        assert_eq!(sub(&[0, 1], &[1]), vec![u64::MAX]);
+        assert_eq!(sub(&[5, 7], &[5, 7]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [(0u128, 0u128), (7, 9), (u64::MAX as u128, 2), (1 << 63, 1 << 2)];
+        for (a, b) in cases {
+            assert_eq!(mul(&v(a), &v(b)), v(a * b), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = vec![0xdead_beef_u64, 0x1234];
+        for s in [0u64, 1, 13, 64, 65, 100] {
+            assert_eq!(shr(&shl(&a, s), s), a, "shift {s}");
+        }
+    }
+
+    #[test]
+    fn div_rem_long() {
+        // (2^130 + 12345) / (2^65 + 1)
+        let a = add(&shl(&[1], 130), &[12345]);
+        let b = add(&shl(&[1], 65), &[1]);
+        let (q, r) = div_rem(&a, &b);
+        let back = add(&mul(&q, &b), &r);
+        assert_eq!(back, a);
+        assert!(cmp(&r, &b) == Ordering::Less);
+    }
+
+    #[test]
+    fn div_rem_by_limb() {
+        let a = vec![17, 0, 1];
+        let (q, r) = div_rem(&a, &[3]);
+        let mut back = add(&mul(&q, &[3]), &r);
+        trim(&mut back);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn bit_len_and_get_bit() {
+        assert_eq!(bit_len(&[]), 0);
+        assert_eq!(bit_len(&[1]), 1);
+        assert_eq!(bit_len(&[0, 1]), 65);
+        assert!(get_bit(&[0b101], 0));
+        assert!(!get_bit(&[0b101], 1));
+        assert!(get_bit(&[0, 1], 64));
+        assert!(!get_bit(&[1], 999));
+    }
+}

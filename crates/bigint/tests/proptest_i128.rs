@@ -1,0 +1,81 @@
+//! Property tests cross-checking BigInt arithmetic against i128, plus
+//! beyond-i128 ring identities.
+
+use chicala_bigint::BigInt;
+use proptest::prelude::*;
+
+fn b(x: i128) -> BigInt {
+    BigInt::from(x)
+}
+
+proptest! {
+    #[test]
+    fn add_sub_mul_match_i128(x in -(1i128 << 62)..(1i128 << 62), y in -(1i128 << 62)..(1i128 << 62)) {
+        prop_assert_eq!(b(x) + b(y), b(x + y));
+        prop_assert_eq!(b(x) - b(y), b(x - y));
+        prop_assert_eq!(b(x >> 32) * b(y >> 32), b((x >> 32) * (y >> 32)));
+    }
+
+    #[test]
+    fn div_rem_matches_i128(x in any::<i128>(), y in any::<i128>()) {
+        prop_assume!(y != 0);
+        let (q, r) = b(x).div_rem(&b(y));
+        // i128::MIN / -1 overflows the primitive; BigInt must still be right.
+        if !(x == i128::MIN && y == -1) {
+            prop_assert_eq!(q, b(x / y));
+            prop_assert_eq!(r, b(x % y));
+        } else {
+            prop_assert_eq!(q, -BigInt::from(i128::MIN));
+        }
+    }
+
+    #[test]
+    fn euclid_identity_beyond_i128(xs in proptest::collection::vec(any::<u64>(), 1..6),
+                                   ys in proptest::collection::vec(any::<u64>(), 1..4)) {
+        let x = xs.iter().fold(BigInt::zero(), |acc, &l| (acc << 64) + BigInt::from(l));
+        let y = ys.iter().fold(BigInt::zero(), |acc, &l| (acc << 64) + BigInt::from(l));
+        prop_assume!(!y.is_zero());
+        let (q, r) = x.div_rem(&y);
+        prop_assert_eq!(&q * &y + &r, x.clone());
+        prop_assert!(r.abs() < y.abs());
+    }
+
+    #[test]
+    fn mod_floor_in_range(x in any::<i128>(), w in 1u64..200) {
+        let m = x >> 1; // stay clear of i128::MIN edge for the reference below
+        let u = b(m).to_unsigned(w);
+        prop_assert!(u >= BigInt::zero());
+        prop_assert!(u < BigInt::pow2(w));
+        // (u - m) divisible by 2^w
+        prop_assert!(((u - b(m)).mod_floor(&BigInt::pow2(w))).is_zero());
+    }
+
+    #[test]
+    fn shifts_match_division(x in 0i128..(1 << 100), s in 0u64..90) {
+        prop_assert_eq!(b(x) << s, b(x) * BigInt::pow2(s));
+        prop_assert_eq!(b(x) >> s, b(x).div_floor(&BigInt::pow2(s)));
+    }
+
+    #[test]
+    fn bitwise_match_i128(x in 0i128..i128::MAX, y in 0i128..i128::MAX) {
+        prop_assert_eq!(b(x) & b(y), b(x & y));
+        prop_assert_eq!(b(x) | b(y), b(x | y));
+        prop_assert_eq!(b(x) ^ b(y), b(x ^ y));
+    }
+
+    #[test]
+    fn display_parse_roundtrip(xs in proptest::collection::vec(any::<u64>(), 0..5), neg in any::<bool>()) {
+        let mut x = xs.iter().fold(BigInt::zero(), |acc, &l| (acc << 64) + BigInt::from(l));
+        if neg { x = -x; }
+        let s = x.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), x);
+    }
+
+    #[test]
+    fn signed_unsigned_views_are_inverse(x in any::<i64>(), w in 1u64..80) {
+        let s = b(x as i128).to_signed(w);
+        prop_assert_eq!(s.to_unsigned(w), b(x as i128).to_unsigned(w));
+        prop_assert!(s < BigInt::pow2(w - 1));
+        prop_assert!(s >= -BigInt::pow2(w - 1));
+    }
+}

@@ -1,0 +1,10 @@
+//! The paper's §3.2 proof libraries: bit-vector-as-integer operations with
+//! their lemma set ([`bitvec`], 6 ops + 10 lemmas, every lemma proved in
+//! the kernel), and the list library ([`listlib`], 7 ops + 3 lemmas) used
+//! by designs that split signals into element sequences.
+
+pub mod bitvec;
+pub mod listlib;
+
+pub use bitvec::install as install_bitvec;
+pub use listlib::install as install_listlib;

@@ -1,0 +1,392 @@
+//! Ergonomic construction of [`Module`]s, playing the role Chisel's Scala
+//! embedding plays: Rust code *generates* the hardware description.
+
+use crate::expr::Expr;
+use crate::module::{Decl, FuncDef, Module, SignalKind};
+use crate::pexpr::PExpr;
+use crate::stmt::{LValue, Stmt};
+use crate::types::ChiselType;
+
+/// A handle to a declared signal, convertible to read ([`Expr`]) and write
+/// ([`LValue`]) positions.
+#[derive(Clone, Debug)]
+pub struct Signal {
+    name: String,
+}
+
+impl Signal {
+    /// The declared name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Read the whole signal.
+    pub fn e(&self) -> Expr {
+        Expr::sig(self.name.clone())
+    }
+
+    /// Write target for the whole signal.
+    pub fn lv(&self) -> LValue {
+        LValue::new(self.name.clone())
+    }
+
+    /// Read element `i` of a vector signal (static index).
+    pub fn at(&self, i: impl Into<PExpr>) -> Expr {
+        let i = i.into();
+        Expr::Ref(crate::expr::SignalRef::new(self.name.clone()).index(Expr::LitU {
+            value: i,
+            width: None,
+        }))
+    }
+
+    /// Write target for element `i` of a vector signal (static index).
+    pub fn lv_at(&self, i: impl Into<PExpr>) -> LValue {
+        LValue::new(self.name.clone()).index(i)
+    }
+
+    /// Read a bundle field.
+    pub fn f(&self, field: &str) -> Expr {
+        Expr::Ref(crate::expr::SignalRef::new(self.name.clone()).field(field))
+    }
+
+    /// Write target for a bundle field.
+    pub fn lv_f(&self, field: &str) -> LValue {
+        LValue::new(self.name.clone()).field(field)
+    }
+}
+
+/// Builder for a parameterized [`Module`].
+///
+/// # Examples
+///
+/// The paper's running example (Listing 1):
+///
+/// ```
+/// use chicala_chisel::{ChiselType, Expr, ModuleBuilder, PExpr};
+///
+/// let mut m = ModuleBuilder::new("Example", &["len"]);
+/// let len = PExpr::param("len");
+/// let io_in = m.input("io_in", ChiselType::uint(len.clone()));
+/// let io_out = m.output("io_out", ChiselType::uint(len.clone()));
+/// let io_ready = m.output("io_ready", ChiselType::Bool);
+/// let state = m.reg_init("state", ChiselType::Bool, Expr::lit_b(true));
+/// let cnt = m.reg_init("cnt", ChiselType::uint(len.clone()), Expr::lit_u(0, len.clone()));
+/// let r = m.reg("R", ChiselType::uint(len.clone()));
+///
+/// let (rc, ic, sc) = (r.clone(), io_in.clone(), state.clone());
+/// let cc = cnt.clone();
+/// let lenc = len.clone();
+/// m.when_else(
+///     io_ready.e(),
+///     move |b| {
+///         b.connect(rc.lv(), ic.e());
+///         b.connect(sc.lv(), Expr::lit_b(false));
+///     },
+///     move |b| {
+///         let rot = r.e().bit(0).cat(r.e().bits(lenc.clone() - 1, 1));
+///         b.connect(r.lv(), rot);
+///         b.connect(cnt.lv(), Expr::Binop(chicala_chisel::BinaryOp::Add,
+///             Box::new(cnt.e()), Box::new(Expr::lit_u(1, lenc.clone()))));
+///         b.when(cc.e().eq(Expr::lit_u(lenc.clone() - 1, lenc.clone())), move |b| {
+///             b.connect(state.lv(), Expr::lit_b(true));
+///         });
+///     },
+/// );
+/// m.connect(io_ready.lv(), Expr::sig("state"));
+/// m.connect(io_out.lv(), Expr::sig("R"));
+/// let module = m.build();
+/// assert_eq!(module.params, vec!["len".to_string()]);
+/// ```
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    params: Vec<String>,
+    decls: Vec<Decl>,
+    funcs: Vec<FuncDef>,
+    scopes: Vec<Vec<Stmt>>,
+}
+
+impl ModuleBuilder {
+    /// Starts a module with the given name and integer parameters.
+    pub fn new(name: impl Into<String>, params: &[&str]) -> ModuleBuilder {
+        ModuleBuilder {
+            name: name.into(),
+            params: params.iter().map(|p| p.to_string()).collect(),
+            decls: Vec::new(),
+            funcs: Vec::new(),
+            scopes: vec![Vec::new()],
+        }
+    }
+
+    /// A [`PExpr`] referring to a declared parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter was not declared in [`ModuleBuilder::new`].
+    pub fn param(&self, name: &str) -> PExpr {
+        assert!(
+            self.params.iter().any(|p| p == name),
+            "parameter `{name}` not declared on module `{}`",
+            self.name
+        );
+        PExpr::param(name)
+    }
+
+    fn declare(&mut self, name: impl Into<String>, ty: ChiselType, kind: SignalKind) -> Signal {
+        let name = name.into();
+        assert!(
+            self.decls.iter().all(|d| d.name != name),
+            "duplicate signal `{name}` in module `{}`",
+            self.name
+        );
+        self.decls.push(Decl { name: name.clone(), ty, kind });
+        Signal { name }
+    }
+
+    /// Declares an input port.
+    pub fn input(&mut self, name: impl Into<String>, ty: ChiselType) -> Signal {
+        self.declare(name, ty, SignalKind::Input)
+    }
+
+    /// Declares an output port.
+    pub fn output(&mut self, name: impl Into<String>, ty: ChiselType) -> Signal {
+        self.declare(name, ty, SignalKind::Output)
+    }
+
+    /// Declares an uninitialised register (`Reg(...)`).
+    pub fn reg(&mut self, name: impl Into<String>, ty: ChiselType) -> Signal {
+        self.declare(name, ty, SignalKind::Reg { init: None })
+    }
+
+    /// Declares a reset-initialised register (`RegInit(...)`).
+    pub fn reg_init(&mut self, name: impl Into<String>, ty: ChiselType, init: Expr) -> Signal {
+        self.declare(name, ty, SignalKind::Reg { init: Some(init) })
+    }
+
+    /// Declares a wire.
+    pub fn wire(&mut self, name: impl Into<String>, ty: ChiselType) -> Signal {
+        self.declare(name, ty, SignalKind::Wire)
+    }
+
+    /// Declares a named combinational node (`val x = expr`).
+    pub fn node(&mut self, name: impl Into<String>, ty: ChiselType, expr: Expr) -> Signal {
+        self.declare(name, ty, SignalKind::Node(expr))
+    }
+
+    fn push(&mut self, s: Stmt) {
+        self.scopes.last_mut().expect("scope stack never empty").push(s);
+    }
+
+    /// Emits `lhs := rhs`.
+    pub fn connect(&mut self, lhs: LValue, rhs: Expr) {
+        self.push(Stmt::Connect { lhs, rhs });
+    }
+
+    /// Emits `when (cond) { then_f }`.
+    pub fn when(&mut self, cond: Expr, then_f: impl FnOnce(&mut Self)) {
+        self.when_else(cond, then_f, |_| {});
+    }
+
+    /// Emits `when (cond) { then_f } .otherwise { else_f }`.
+    pub fn when_else(
+        &mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        self.scopes.push(Vec::new());
+        then_f(self);
+        let then_body = self.scopes.pop().expect("scope pushed above");
+        self.scopes.push(Vec::new());
+        else_f(self);
+        let else_body = self.scopes.pop().expect("scope pushed above");
+        self.push(Stmt::When { cond, then_body, else_body });
+    }
+
+    /// Emits a generator loop `for (var <- start until end)`; the closure
+    /// receives the loop variable as a [`PExpr`].
+    pub fn for_each(
+        &mut self,
+        var: &str,
+        start: impl Into<PExpr>,
+        end: impl Into<PExpr>,
+        body_f: impl FnOnce(&mut Self, PExpr),
+    ) {
+        self.scopes.push(Vec::new());
+        body_f(self, PExpr::var(var));
+        let body = self.scopes.pop().expect("scope pushed above");
+        self.push(Stmt::For { var: var.into(), start: start.into(), end: end.into(), body });
+    }
+
+    /// Defines a module-local combinational function; the closure builds the
+    /// body with a [`FuncBuilder`] and returns the result expression.
+    pub fn func(
+        &mut self,
+        name: &str,
+        args: Vec<(String, ChiselType)>,
+        ret: ChiselType,
+        body_f: impl FnOnce(&mut FuncBuilder) -> Expr,
+    ) {
+        let mut fb = FuncBuilder { locals: Vec::new(), scopes: vec![Vec::new()] };
+        let result = body_f(&mut fb);
+        assert_eq!(fb.scopes.len(), 1, "unbalanced scopes in function `{name}`");
+        let body = fb.scopes.pop().expect("scope stack never empty");
+        self.funcs.push(FuncDef { name: name.into(), args, ret, locals: fb.locals, body, result });
+    }
+
+    /// Finishes the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `when`/`for` scopes are unbalanced (cannot happen through
+    /// the closure API).
+    pub fn build(mut self) -> Module {
+        assert_eq!(self.scopes.len(), 1, "unbalanced scopes in module `{}`", self.name);
+        Module {
+            name: self.name,
+            params: self.params,
+            decls: self.decls,
+            funcs: self.funcs,
+            body: self.scopes.pop().expect("scope stack never empty"),
+        }
+    }
+}
+
+/// Builder for the body of a combinational function.
+#[derive(Debug)]
+pub struct FuncBuilder {
+    locals: Vec<Decl>,
+    scopes: Vec<Vec<Stmt>>,
+}
+
+impl FuncBuilder {
+    /// Declares a local wire.
+    pub fn wire(&mut self, name: impl Into<String>, ty: ChiselType) -> Signal {
+        let name = name.into();
+        self.locals.push(Decl { name: name.clone(), ty, kind: SignalKind::Wire });
+        Signal { name }
+    }
+
+    /// Declares a local node.
+    pub fn node(&mut self, name: impl Into<String>, ty: ChiselType, expr: Expr) -> Signal {
+        let name = name.into();
+        self.locals.push(Decl { name: name.clone(), ty, kind: SignalKind::Node(expr) });
+        Signal { name }
+    }
+
+    /// Emits `lhs := rhs`.
+    pub fn connect(&mut self, lhs: LValue, rhs: Expr) {
+        self.scopes.last_mut().expect("scope stack never empty").push(Stmt::Connect { lhs, rhs });
+    }
+
+    /// Emits `when (cond) { then_f } .otherwise { else_f }`.
+    pub fn when_else(
+        &mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        self.scopes.push(Vec::new());
+        then_f(self);
+        let then_body = self.scopes.pop().expect("scope pushed above");
+        self.scopes.push(Vec::new());
+        else_f(self);
+        let else_body = self.scopes.pop().expect("scope pushed above");
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .push(Stmt::When { cond, then_body, else_body });
+    }
+
+    /// Argument reference.
+    pub fn arg(&self, name: &str) -> Expr {
+        Expr::sig(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_scopes_produce_nested_whens() {
+        let mut m = ModuleBuilder::new("M", &["w"]);
+        let w = m.param("w");
+        let a = m.input("a", ChiselType::uint(w.clone()));
+        let y = m.output("y", ChiselType::uint(w));
+        let yc = y.clone();
+        let ac = a.clone();
+        m.when_else(
+            a.e().or_r(),
+            move |b| {
+                let y2 = yc.clone();
+                b.when(Expr::lit_b(true), move |b| b.connect(y2.lv(), ac.e()));
+            },
+            move |b| b.connect(y.lv(), Expr::lit_u(0, PExpr::param("w"))),
+        );
+        let module = m.build();
+        assert_eq!(module.body.len(), 1);
+        match &module.body[0] {
+            Stmt::When { then_body, else_body, .. } => {
+                assert_eq!(then_body.len(), 1);
+                assert!(matches!(then_body[0], Stmt::When { .. }));
+                assert_eq!(else_body.len(), 1);
+            }
+            _ => panic!("expected When"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal")]
+    fn duplicate_names_rejected() {
+        let mut m = ModuleBuilder::new("M", &[]);
+        m.wire("x", ChiselType::Bool);
+        m.wire("x", ChiselType::Bool);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn unknown_param_rejected() {
+        let m = ModuleBuilder::new("M", &["w"]);
+        let _ = m.param("nope");
+    }
+
+    #[test]
+    fn for_loop_records_bounds() {
+        let mut m = ModuleBuilder::new("M", &["n"]);
+        let n = m.param("n");
+        let v = m.wire("v", ChiselType::vec(ChiselType::Bool, n.clone()));
+        m.for_each("i", 0, n, |b, i| {
+            b.connect(v.lv_at(i), Expr::lit_b(false));
+        });
+        let module = m.build();
+        match &module.body[0] {
+            Stmt::For { var, start, end, body } => {
+                assert_eq!(var, "i");
+                assert_eq!(*start, PExpr::Const(0));
+                assert_eq!(*end, PExpr::param("n"));
+                assert_eq!(body.len(), 1);
+            }
+            _ => panic!("expected For"),
+        }
+    }
+
+    #[test]
+    fn func_builder() {
+        let mut m = ModuleBuilder::new("M", &["w"]);
+        let w = m.param("w");
+        m.func(
+            "csa",
+            vec![
+                ("x".into(), ChiselType::uint(w.clone())),
+                ("y".into(), ChiselType::uint(w.clone())),
+            ],
+            ChiselType::uint(w),
+            |fb| fb.arg("x").bit_xor(fb.arg("y")),
+        );
+        let module = m.build();
+        let f = module.func("csa").expect("declared above");
+        assert_eq!(f.args.len(), 2);
+        assert_eq!(f.result.to_string(), "(x ^ y)");
+    }
+}

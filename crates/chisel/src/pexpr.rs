@@ -1,0 +1,317 @@
+//! Symbolic integer expressions over module parameters.
+//!
+//! A parameterized Chisel design never pins its widths to numbers: `io.in`
+//! has width `len`, a divider's shift register has width `2*len + 1`, a
+//! Booth recoder iterates `len/2 + 1` times. [`PExpr`] is the small language
+//! of such compile-time integer expressions: constants, parameters, loop
+//! variables, and `+ - * / min max`. It is used for widths, literal values
+//! like `(len - 1).U`, bit-extraction indices, and loop bounds.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic compile-time integer expression over parameters.
+///
+/// # Examples
+///
+/// ```
+/// use chicala_chisel::PExpr;
+/// let w = (PExpr::param("len") * 2 + 1).eval_with(&[("len", 64)])?;
+/// assert_eq!(w, 129);
+/// # Ok::<(), chicala_chisel::EvalPExprError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PExpr {
+    /// An integer constant.
+    Const(i64),
+    /// A module parameter, e.g. `len`.
+    Param(String),
+    /// A generator-loop variable (bound by `Stmt::For`).
+    Var(String),
+    /// Sum of the operands.
+    Add(Box<PExpr>, Box<PExpr>),
+    /// Difference of the operands.
+    Sub(Box<PExpr>, Box<PExpr>),
+    /// Product of the operands.
+    Mul(Box<PExpr>, Box<PExpr>),
+    /// Flooring quotient (used e.g. for `len / 2` Booth digit counts).
+    Div(Box<PExpr>, Box<PExpr>),
+    /// Maximum, as produced by Chisel width inference for `+`/`Mux`.
+    Max(Box<PExpr>, Box<PExpr>),
+    /// Minimum.
+    Min(Box<PExpr>, Box<PExpr>),
+}
+
+/// Error produced by [`PExpr::eval`]: an unbound name or division by zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalPExprError {
+    /// A parameter or loop variable had no binding.
+    Unbound(String),
+    /// Division by zero.
+    DivByZero,
+}
+
+impl fmt::Display for EvalPExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalPExprError::Unbound(n) => write!(f, "unbound parameter or variable `{n}`"),
+            EvalPExprError::DivByZero => write!(f, "division by zero in parameter expression"),
+        }
+    }
+}
+
+impl std::error::Error for EvalPExprError {}
+
+/// A binding of parameter/loop-variable names to concrete integers.
+pub type Bindings = BTreeMap<String, i64>;
+
+impl PExpr {
+    /// A parameter reference.
+    pub fn param(name: impl Into<String>) -> PExpr {
+        PExpr::Param(name.into())
+    }
+
+    /// A loop-variable reference.
+    pub fn var(name: impl Into<String>) -> PExpr {
+        PExpr::Var(name.into())
+    }
+
+    /// Evaluates under the given bindings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unbound names or division by zero.
+    pub fn eval(&self, env: &Bindings) -> Result<i64, EvalPExprError> {
+        Ok(match self {
+            PExpr::Const(c) => *c,
+            PExpr::Param(n) | PExpr::Var(n) => {
+                *env.get(n).ok_or_else(|| EvalPExprError::Unbound(n.clone()))?
+            }
+            PExpr::Add(a, b) => a.eval(env)? + b.eval(env)?,
+            PExpr::Sub(a, b) => a.eval(env)? - b.eval(env)?,
+            PExpr::Mul(a, b) => a.eval(env)? * b.eval(env)?,
+            PExpr::Div(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return Err(EvalPExprError::DivByZero);
+                }
+                a.eval(env)?.div_euclid(d)
+            }
+            PExpr::Max(a, b) => a.eval(env)?.max(b.eval(env)?),
+            PExpr::Min(a, b) => a.eval(env)?.min(b.eval(env)?),
+        })
+    }
+
+    /// Convenience wrapper over [`PExpr::eval`] for slice bindings.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PExpr::eval`].
+    pub fn eval_with(&self, bindings: &[(&str, i64)]) -> Result<i64, EvalPExprError> {
+        let env: Bindings = bindings.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        self.eval(&env)
+    }
+
+    /// All parameter and loop-variable names mentioned, in first-seen order.
+    pub fn names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names(&self, out: &mut Vec<String>) {
+        match self {
+            PExpr::Const(_) => {}
+            PExpr::Param(n) | PExpr::Var(n) => {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+            PExpr::Add(a, b)
+            | PExpr::Sub(a, b)
+            | PExpr::Mul(a, b)
+            | PExpr::Div(a, b)
+            | PExpr::Max(a, b)
+            | PExpr::Min(a, b) => {
+                a.collect_names(out);
+                b.collect_names(out);
+            }
+        }
+    }
+
+    /// Substitutes `name` by `value` (used when unrolling generator loops).
+    pub fn subst(&self, name: &str, value: &PExpr) -> PExpr {
+        match self {
+            PExpr::Const(_) => self.clone(),
+            PExpr::Param(n) | PExpr::Var(n) => {
+                if n == name {
+                    value.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            PExpr::Add(a, b) => PExpr::Add(a.subst(name, value).into(), b.subst(name, value).into()),
+            PExpr::Sub(a, b) => PExpr::Sub(a.subst(name, value).into(), b.subst(name, value).into()),
+            PExpr::Mul(a, b) => PExpr::Mul(a.subst(name, value).into(), b.subst(name, value).into()),
+            PExpr::Div(a, b) => PExpr::Div(a.subst(name, value).into(), b.subst(name, value).into()),
+            PExpr::Max(a, b) => PExpr::Max(a.subst(name, value).into(), b.subst(name, value).into()),
+            PExpr::Min(a, b) => PExpr::Min(a.subst(name, value).into(), b.subst(name, value).into()),
+        }
+    }
+
+    /// Constant-folds trivially evaluable sub-expressions.
+    pub fn simplify(&self) -> PExpr {
+        use PExpr::*;
+        let bin = |a: &PExpr, b: &PExpr| (a.simplify(), b.simplify());
+        match self {
+            Const(_) | Param(_) | Var(_) => self.clone(),
+            Add(a, b) => match bin(a, b) {
+                (Const(x), Const(y)) => Const(x + y),
+                (Const(0), y) => y,
+                (x, Const(0)) => x,
+                (x, y) => Add(x.into(), y.into()),
+            },
+            Sub(a, b) => match bin(a, b) {
+                (Const(x), Const(y)) => Const(x - y),
+                (x, Const(0)) => x,
+                (x, y) if x == y => Const(0),
+                (x, y) => Sub(x.into(), y.into()),
+            },
+            Mul(a, b) => match bin(a, b) {
+                (Const(x), Const(y)) => Const(x * y),
+                (Const(0), _) | (_, Const(0)) => Const(0),
+                (Const(1), y) => y,
+                (x, Const(1)) => x,
+                (x, y) => Mul(x.into(), y.into()),
+            },
+            Div(a, b) => match bin(a, b) {
+                (Const(x), Const(y)) if y != 0 => Const(x.div_euclid(y)),
+                (x, Const(1)) => x,
+                (x, y) => Div(x.into(), y.into()),
+            },
+            Max(a, b) => match bin(a, b) {
+                (Const(x), Const(y)) => Const(x.max(y)),
+                (x, y) if x == y => x,
+                (x, y) => Max(x.into(), y.into()),
+            },
+            Min(a, b) => match bin(a, b) {
+                (Const(x), Const(y)) => Const(x.min(y)),
+                (x, y) if x == y => x,
+                (x, y) => Min(x.into(), y.into()),
+            },
+        }
+    }
+}
+
+impl From<i64> for PExpr {
+    fn from(c: i64) -> PExpr {
+        PExpr::Const(c)
+    }
+}
+
+impl From<u64> for PExpr {
+    fn from(c: u64) -> PExpr {
+        PExpr::Const(c as i64)
+    }
+}
+
+impl From<i32> for PExpr {
+    fn from(c: i32) -> PExpr {
+        PExpr::Const(c as i64)
+    }
+}
+
+macro_rules! pexpr_op {
+    ($trait:ident, $method:ident, $ctor:ident) => {
+        impl<R: Into<PExpr>> std::ops::$trait<R> for PExpr {
+            type Output = PExpr;
+            fn $method(self, rhs: R) -> PExpr {
+                PExpr::$ctor(self.into(), rhs.into().into())
+            }
+        }
+        impl std::ops::$trait<PExpr> for i64 {
+            type Output = PExpr;
+            fn $method(self, rhs: PExpr) -> PExpr {
+                PExpr::$ctor(Box::new(PExpr::Const(self)), rhs.into())
+            }
+        }
+    };
+}
+
+pexpr_op!(Add, add, Add);
+pexpr_op!(Sub, sub, Sub);
+pexpr_op!(Mul, mul, Mul);
+pexpr_op!(Div, div, Div);
+
+impl fmt::Display for PExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PExpr::Const(c) => write!(f, "{c}"),
+            PExpr::Param(n) | PExpr::Var(n) => write!(f, "{n}"),
+            PExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            PExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            PExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            PExpr::Div(a, b) => write!(f, "({a} / {b})"),
+            PExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+            PExpr::Min(a, b) => write!(f, "min({a}, {b})"),
+        }
+    }
+}
+
+impl fmt::Debug for PExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_ops() {
+        let e = PExpr::param("len") * 2 + 1;
+        assert_eq!(e.eval_with(&[("len", 8)]).unwrap(), 17);
+        let e = (PExpr::param("len") - 1) / 2;
+        assert_eq!(e.eval_with(&[("len", 9)]).unwrap(), 4);
+        assert_eq!(
+            PExpr::param("w").eval_with(&[]),
+            Err(EvalPExprError::Unbound("w".into()))
+        );
+    }
+
+    #[test]
+    fn div_by_zero() {
+        let e = PExpr::Const(1) / PExpr::Const(0);
+        assert_eq!(e.eval_with(&[]), Err(EvalPExprError::DivByZero));
+    }
+
+    #[test]
+    fn subst_unrolls_loop_vars() {
+        let e = PExpr::var("i") * 2 + PExpr::param("len");
+        let s = e.subst("i", &PExpr::Const(3)).simplify();
+        assert_eq!(s, PExpr::Add(Box::new(PExpr::Const(6)), Box::new(PExpr::param("len"))));
+    }
+
+    #[test]
+    fn simplify_folds_identities() {
+        let e = (PExpr::param("w") + 0) * 1;
+        assert_eq!(e.simplify(), PExpr::param("w"));
+        let e = PExpr::param("w") - PExpr::param("w");
+        assert_eq!(e.simplify(), PExpr::Const(0));
+        let e = PExpr::Max(Box::new(PExpr::Const(3)), Box::new(PExpr::Const(7)));
+        assert_eq!(e.simplify(), PExpr::Const(7));
+    }
+
+    #[test]
+    fn names_in_order() {
+        let e = PExpr::param("a") + PExpr::var("i") * PExpr::param("a");
+        assert_eq!(e.names(), vec!["a".to_string(), "i".to_string()]);
+    }
+
+    #[test]
+    fn display() {
+        let e = PExpr::param("len") * 2 + 1;
+        assert_eq!(e.to_string(), "((len * 2) + 1)");
+    }
+}

@@ -1,0 +1,240 @@
+//! Statements of the Chisel subset: connects, `when`/`otherwise`, and
+//! generator `for` loops.
+
+use crate::expr::Expr;
+use crate::pexpr::PExpr;
+use std::fmt;
+
+/// A connect target: a declared signal plus a *static* path of fields and
+/// indices.
+///
+/// Unlike read-side references, write-side vector indices must be
+/// compile-time [`PExpr`]s (typically loop variables). This mirrors the
+/// paper's micro-level condition (2): the signal driven by every connect must
+/// be statically identifiable.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LValue {
+    /// Declared signal name.
+    pub base: String,
+    /// Static accessor path.
+    pub path: Vec<LAccessor>,
+}
+
+/// One static step into an aggregate connect target.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum LAccessor {
+    /// Bundle field.
+    Field(String),
+    /// Vector element with a compile-time index.
+    Index(PExpr),
+}
+
+impl LValue {
+    /// A bare signal target.
+    pub fn new(base: impl Into<String>) -> LValue {
+        LValue { base: base.into(), path: Vec::new() }
+    }
+
+    /// Selects a bundle field.
+    pub fn field(mut self, name: impl Into<String>) -> LValue {
+        self.path.push(LAccessor::Field(name.into()));
+        self
+    }
+
+    /// Selects a vector element by static index.
+    pub fn index(mut self, idx: impl Into<PExpr>) -> LValue {
+        self.path.push(LAccessor::Index(idx.into()));
+        self
+    }
+
+    /// Substitutes a generator loop variable in index positions.
+    pub fn subst_pvar(&self, name: &str, value: &PExpr) -> LValue {
+        LValue {
+            base: self.base.clone(),
+            path: self
+                .path
+                .iter()
+                .map(|acc| match acc {
+                    LAccessor::Field(f) => LAccessor::Field(f.clone()),
+                    LAccessor::Index(i) => LAccessor::Index(i.subst(name, value)),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A statement of the Chisel subset.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// `lhs := rhs`.
+    Connect {
+        /// Driven signal.
+        lhs: LValue,
+        /// Driving expression.
+        rhs: Expr,
+    },
+    /// `when (cond) { … } .otherwise { … }`.
+    When {
+        /// Condition (a `Bool` expression).
+        cond: Expr,
+        /// Statements in the `when` branch.
+        then_body: Vec<Stmt>,
+        /// Statements in the `otherwise` branch (may be empty).
+        else_body: Vec<Stmt>,
+    },
+    /// Generator loop `for (var <- start until end) { … }`; bounds are
+    /// compile-time expressions, so the loop unrolls at elaboration.
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Inclusive lower bound.
+        start: PExpr,
+        /// Exclusive upper bound.
+        end: PExpr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Substitutes a generator variable throughout the statement.
+    pub fn subst_pvar(&self, name: &str, value: &PExpr) -> Stmt {
+        match self {
+            Stmt::Connect { lhs, rhs } => Stmt::Connect {
+                lhs: lhs.subst_pvar(name, value),
+                rhs: rhs.subst_pvar(name, value),
+            },
+            Stmt::When { cond, then_body, else_body } => Stmt::When {
+                cond: cond.subst_pvar(name, value),
+                then_body: then_body.iter().map(|s| s.subst_pvar(name, value)).collect(),
+                else_body: else_body.iter().map(|s| s.subst_pvar(name, value)).collect(),
+            },
+            Stmt::For { var, start, end, body } => {
+                if var == name {
+                    // Inner loop shadows the substituted variable: only the
+                    // bounds are in scope of the outer binder.
+                    Stmt::For {
+                        var: var.clone(),
+                        start: start.subst(name, value),
+                        end: end.subst(name, value),
+                        body: body.clone(),
+                    }
+                } else {
+                    Stmt::For {
+                        var: var.clone(),
+                        start: start.subst(name, value),
+                        end: end.subst(name, value),
+                        body: body.iter().map(|s| s.subst_pvar(name, value)).collect(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for acc in &self.path {
+            match acc {
+                LAccessor::Field(name) => write!(f, ".{name}")?,
+                LAccessor::Index(i) => write!(f, "({i})")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+fn fmt_block(f: &mut fmt::Formatter<'_>, body: &[Stmt], indent: usize) -> fmt::Result {
+    for s in body {
+        s.fmt_indented(f, indent)?;
+    }
+    Ok(())
+}
+
+impl Stmt {
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Stmt::Connect { lhs, rhs } => writeln!(f, "{pad}{lhs} := {rhs}"),
+            Stmt::When { cond, then_body, else_body } => {
+                writeln!(f, "{pad}when ({cond}) {{")?;
+                fmt_block(f, then_body, indent + 1)?;
+                if else_body.is_empty() {
+                    writeln!(f, "{pad}}}")
+                } else {
+                    writeln!(f, "{pad}}} .otherwise {{")?;
+                    fmt_block(f, else_body, indent + 1)?;
+                    writeln!(f, "{pad}}}")
+                }
+            }
+            Stmt::For { var, start, end, body } => {
+                writeln!(f, "{pad}for ({var} <- {start} until {end}) {{")?;
+                fmt_block(f, body, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+impl fmt::Debug for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn lvalue_display() {
+        let lv = LValue::new("cols").index(PExpr::var("i")).index(PExpr::Const(0));
+        assert_eq!(lv.to_string(), "cols(i)(0)");
+    }
+
+    #[test]
+    fn subst_respects_shadowing() {
+        let inner = Stmt::Connect {
+            lhs: LValue::new("v").index(PExpr::var("i")),
+            rhs: Expr::lit(0),
+        };
+        let outer = Stmt::For {
+            var: "i".into(),
+            start: PExpr::var("i"),
+            end: PExpr::Const(4),
+            body: vec![inner.clone()],
+        };
+        let s = outer.subst_pvar("i", &PExpr::Const(9));
+        match s {
+            Stmt::For { start, body, .. } => {
+                assert_eq!(start, PExpr::Const(9));
+                assert_eq!(body, vec![inner]); // untouched under the shadowing binder
+            }
+            _ => panic!("expected For"),
+        }
+    }
+
+    #[test]
+    fn when_display() {
+        let s = Stmt::When {
+            cond: Expr::sig("ready"),
+            then_body: vec![Stmt::Connect { lhs: LValue::new("r"), rhs: Expr::sig("x") }],
+            else_body: vec![],
+        };
+        assert_eq!(s.to_string(), "when (ready) {\n  r := x\n}\n");
+    }
+}

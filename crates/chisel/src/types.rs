@@ -1,0 +1,113 @@
+//! The Chisel-subset type system: `UInt`, `SInt`, `Bool`, `Vec`, `Bundle`.
+
+use crate::pexpr::PExpr;
+use std::fmt;
+
+/// A hardware type of the Chisel subset.
+///
+/// Widths and vector lengths are symbolic [`PExpr`]s so that a single design
+/// covers all bit widths, exactly as in the paper.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum ChiselType {
+    /// Unsigned bit-vector of the given width.
+    UInt(PExpr),
+    /// Two's-complement signed bit-vector of the given width.
+    SInt(PExpr),
+    /// Single boolean bit.
+    Bool,
+    /// Homogeneous vector of the given element type and length.
+    Vec(Box<ChiselType>, PExpr),
+    /// Record of named fields (order significant).
+    Bundle(Vec<(String, ChiselType)>),
+}
+
+impl ChiselType {
+    /// `UInt(width.W)`.
+    pub fn uint(width: impl Into<PExpr>) -> ChiselType {
+        ChiselType::UInt(width.into())
+    }
+
+    /// `SInt(width.W)`.
+    pub fn sint(width: impl Into<PExpr>) -> ChiselType {
+        ChiselType::SInt(width.into())
+    }
+
+    /// `Vec(len, elem)`.
+    pub fn vec(elem: ChiselType, len: impl Into<PExpr>) -> ChiselType {
+        ChiselType::Vec(Box::new(elem), len.into())
+    }
+
+    /// The width of a ground (non-aggregate) type.
+    pub fn width(&self) -> Option<&PExpr> {
+        match self {
+            ChiselType::UInt(w) | ChiselType::SInt(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a ground (scalar) type.
+    pub fn is_ground(&self) -> bool {
+        matches!(self, ChiselType::UInt(_) | ChiselType::SInt(_) | ChiselType::Bool)
+    }
+
+    /// Whether values of this type carry a sign.
+    pub fn is_signed(&self) -> bool {
+        matches!(self, ChiselType::SInt(_))
+    }
+}
+
+impl fmt::Display for ChiselType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChiselType::UInt(w) => write!(f, "UInt({w}.W)"),
+            ChiselType::SInt(w) => write!(f, "SInt({w}.W)"),
+            ChiselType::Bool => write!(f, "Bool()"),
+            ChiselType::Vec(e, n) => write!(f, "Vec({n}, {e})"),
+            ChiselType::Bundle(fields) => {
+                write!(f, "Bundle {{ ")?;
+                for (i, (name, ty)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {ty}")?;
+                }
+                write!(f, " }}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ChiselType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_queries() {
+        let u = ChiselType::uint(PExpr::param("len"));
+        assert!(u.is_ground());
+        assert!(!u.is_signed());
+        assert_eq!(u.width(), Some(&PExpr::param("len")));
+
+        let s = ChiselType::sint(8);
+        assert!(s.is_signed());
+
+        let v = ChiselType::vec(ChiselType::Bool, PExpr::param("n"));
+        assert!(!v.is_ground());
+        assert_eq!(v.width(), None);
+    }
+
+    #[test]
+    fn display() {
+        let b = ChiselType::Bundle(vec![
+            ("in".into(), ChiselType::uint(PExpr::param("len"))),
+            ("ready".into(), ChiselType::Bool),
+        ]);
+        assert_eq!(b.to_string(), "Bundle { in: UInt(len.W), ready: Bool() }");
+    }
+}

@@ -1,0 +1,197 @@
+//! Elaboration and interpretation edge cases: bundles, vectors, generator
+//! loops, combinational functions, dynamic indexing, and error paths.
+
+use chicala_bigint::BigInt;
+use chicala_chisel::{
+    elaborate, Bindings, ChiselType, ElabError, Expr, ModuleBuilder, PExpr, SimError, Simulator,
+};
+use std::collections::BTreeMap;
+
+fn bind(pairs: &[(&str, i64)]) -> Bindings {
+    pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+#[test]
+fn bundle_ports_flatten() {
+    let mut m = ModuleBuilder::new("B", &["w"]);
+    let w = m.param("w");
+    let io = m.input(
+        "io",
+        ChiselType::Bundle(vec![
+            ("a".into(), ChiselType::uint(w.clone())),
+            ("b".into(), ChiselType::Bool),
+        ]),
+    );
+    let y = m.output("y", ChiselType::uint(w));
+    m.connect(
+        y.lv(),
+        Expr::Mux(
+            Box::new(io.f("b")),
+            Box::new(io.f("a")),
+            Box::new(Expr::lit_u(0, PExpr::param("w"))),
+        ),
+    );
+    let em = elaborate(&m.build(), &bind(&[("w", 8)])).expect("elaborates");
+    assert!(em.signal("io_a").is_some());
+    assert!(em.signal("io_b").is_some());
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).expect("constructs");
+    let out = sim
+        .step(
+            &[
+                ("io_a".to_string(), BigInt::from(42)),
+                ("io_b".to_string(), BigInt::one()),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .expect("steps");
+    assert_eq!(out["y"], BigInt::from(42));
+}
+
+#[test]
+fn vec_with_dynamic_read_index() {
+    // y = table(sel) with a constant table 10, 20, 30, 40.
+    let mut m = ModuleBuilder::new("Tbl", &[]);
+    let table = m.wire("table", ChiselType::vec(ChiselType::uint(8u64), 4u64));
+    for (i, v) in [10u64, 20, 30, 40].into_iter().enumerate() {
+        m.connect(table.lv_at(i as u64), Expr::lit_u(v, 8u64));
+    }
+    let sel = m.input("sel", ChiselType::uint(2u64));
+    let y = m.output("y", ChiselType::uint(8u64));
+    m.connect(
+        y.lv(),
+        Expr::Ref(chicala_chisel::SignalRef::new("table").index(sel.e())),
+    );
+    let em = elaborate(&m.build(), &Bindings::new()).expect("elaborates");
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).expect("constructs");
+    for (s, want) in [(0u64, 10u64), (1, 20), (2, 30), (3, 40)] {
+        let out = sim
+            .step(&[("sel".to_string(), BigInt::from(s))].into_iter().collect())
+            .expect("steps");
+        assert_eq!(out["y"], BigInt::from(want), "sel={s}");
+    }
+}
+
+#[test]
+fn combinational_function_inlines() {
+    let mut m = ModuleBuilder::new("F", &["w"]);
+    let w = m.param("w");
+    m.func(
+        "swap_halves",
+        vec![("x".into(), ChiselType::uint(w.clone()))],
+        ChiselType::uint(w.clone()),
+        |fb| {
+            let lo = fb.arg("x").bits(PExpr::param("w") / 2 - 1, 0);
+            let hi = fb
+                .arg("x")
+                .bits(PExpr::param("w") - 1, PExpr::param("w") / 2);
+            lo.cat(hi)
+        },
+    );
+    let a = m.input("a", ChiselType::uint(w.clone()));
+    let y = m.output("y", ChiselType::uint(w));
+    m.connect(y.lv(), Expr::Call { func: "swap_halves".into(), args: vec![a.e()] });
+    let em = elaborate(&m.build(), &bind(&[("w", 8)])).expect("elaborates");
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).expect("constructs");
+    let out = sim
+        .step(&[("a".to_string(), BigInt::from(0xA5u64))].into_iter().collect())
+        .expect("steps");
+    assert_eq!(out["y"], BigInt::from(0x5Au64));
+}
+
+#[test]
+fn generator_loop_unrolls() {
+    // Parity via xor chain over a Vec.
+    let mut m = ModuleBuilder::new("Par", &["w"]);
+    let w = m.param("w");
+    let a = m.input("a", ChiselType::uint(w.clone()));
+    let y = m.output("y", ChiselType::Bool);
+    let ps = m.wire("ps", ChiselType::vec(ChiselType::Bool, w.clone() + 1));
+    m.connect(ps.lv_at(0), Expr::lit_b(false));
+    let ps2 = ps.clone();
+    m.for_each("i", 0, w.clone(), move |b, i| {
+        let bit = a.e().bits(i.clone(), i.clone());
+        b.connect(ps2.lv_at(i.clone() + 1), ps2.at(i).bit_xor(bit));
+    });
+    m.connect(y.lv(), ps.at(w));
+    let em = elaborate(&m.build(), &bind(&[("w", 6)])).expect("elaborates");
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).expect("constructs");
+    for x in [0u64, 1, 0b111, 0b101010, 0b110011] {
+        let out = sim
+            .step(&[("a".to_string(), BigInt::from(x))].into_iter().collect())
+            .expect("steps");
+        assert_eq!(out["y"], BigInt::from(x.count_ones() as u64 % 2), "x={x:b}");
+    }
+}
+
+#[test]
+fn missing_binding_is_reported() {
+    let m = chicala_chisel::examples::rotate_example();
+    let err = elaborate(&m, &Bindings::new()).expect_err("must fail");
+    assert!(matches!(err, ElabError::Param(_)), "{err}");
+}
+
+#[test]
+fn zero_width_is_rejected() {
+    let m = chicala_chisel::examples::rotate_example();
+    let err = elaborate(&m, &bind(&[("len", 0)])).expect_err("must fail");
+    assert!(matches!(err, ElabError::BadWidth(..)), "{err}");
+}
+
+#[test]
+fn comb_loop_detected_at_simulation() {
+    let mut m = ModuleBuilder::new("Loop", &[]);
+    let a = m.wire("a", ChiselType::Bool);
+    let b = m.wire("b", ChiselType::Bool);
+    let y = m.output("y", ChiselType::Bool);
+    m.connect(a.lv(), b.e());
+    m.connect(b.lv(), a.e());
+    m.connect(y.lv(), a.e());
+    let em = elaborate(&m.build(), &Bindings::new()).expect("elaborates");
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).expect("constructs");
+    let err = sim.step(&BTreeMap::new()).expect_err("must fail");
+    assert!(matches!(err, SimError::CombLoop(_)), "{err}");
+}
+
+#[test]
+fn last_connect_wins_and_when_priority() {
+    let mut m = ModuleBuilder::new("LCW", &["w"]);
+    let w = m.param("w");
+    let c = m.input("c", ChiselType::Bool);
+    let y = m.output("y", ChiselType::uint(w.clone()));
+    m.connect(y.lv(), Expr::lit_u(1, w.clone()));
+    let y2 = y.clone();
+    let w2 = w.clone();
+    m.when(c.e(), move |b| b.connect(y2.lv(), Expr::lit_u(2, w2)));
+    m.connect(y.lv(), Expr::lit_u(3, w.clone()));
+    // The unconditional `y := 3` comes last: it always wins.
+    let em = elaborate(&m.build(), &bind(&[("w", 4)])).expect("elaborates");
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).expect("constructs");
+    for cv in [0u64, 1] {
+        let out = sim
+            .step(&[("c".to_string(), BigInt::from(cv))].into_iter().collect())
+            .expect("steps");
+        assert_eq!(out["y"], BigInt::from(3), "c={cv}");
+    }
+}
+
+#[test]
+fn register_initialisation_and_overrides() {
+    let mut m = ModuleBuilder::new("Regs", &["w"]);
+    let w = m.param("w");
+    let q = m.output("q", ChiselType::uint(w.clone()));
+    let r1 = m.reg_init("r1", ChiselType::uint(w.clone()), Expr::lit_u(7, w.clone()));
+    let r2 = m.reg("r2", ChiselType::uint(w.clone()));
+    m.connect(r1.lv(), r1.e());
+    m.connect(r2.lv(), r2.e());
+    m.connect(
+        q.lv(),
+        Expr::Binop(chicala_chisel::BinaryOp::Add, Box::new(r1.e()), Box::new(r2.e())),
+    );
+    let em = elaborate(&m.build(), &bind(&[("w", 8)])).expect("elaborates");
+    let overrides: BTreeMap<String, BigInt> =
+        [("r2".to_string(), BigInt::from(5))].into_iter().collect();
+    let mut sim = Simulator::new(&em, &overrides).expect("constructs");
+    let out = sim.step(&BTreeMap::new()).expect("steps");
+    assert_eq!(out["q"], BigInt::from(12)); // 7 (init) + 5 (override)
+}

@@ -1,0 +1,275 @@
+//! The applicability checker: the macro- and micro-level conditions of
+//! §2.4 that delimit the transformable subset of Chisel programs.
+//!
+//! Several conditions hold *by construction* of the IR (single global
+//! clock, no module/bundle inheritance, statically identifiable connect
+//! targets, no `while` loops, module-global signal scopes); the remaining
+//! ones are checked here. Circular signal dependencies (macro condition 3)
+//! are detected by the reordering pass itself.
+
+use chicala_chisel::{ChiselType, Expr, Module, SignalKind, Stmt, UnaryOp};
+
+/// Result of checking a module against the transformable subset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Human-readable violations; empty means the module is accepted.
+    pub violations: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the module satisfies all checked conditions.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn bundle_is_pure(name: &str, ty: &ChiselType, out: &mut Vec<String>) {
+    match ty {
+        ChiselType::Bundle(fields) => {
+            for (f, fty) in fields {
+                match fty {
+                    ChiselType::Bundle(_) => out.push(format!(
+                        "bundle `{name}` nests bundle field `{f}` (micro condition 3)"
+                    )),
+                    ChiselType::Vec(elem, _) => {
+                        if matches!(**elem, ChiselType::Bundle(_)) {
+                            out.push(format!(
+                                "bundle `{name}` field `{f}` is a vector of bundles (micro condition 3)"
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        ChiselType::Vec(elem, _) => {
+            if matches!(**elem, ChiselType::Bundle(_)) {
+                out.push(format!("vector `{name}` has bundle elements (micro condition 3)"));
+            }
+            bundle_is_pure(name, elem, out);
+        }
+        _ => {}
+    }
+}
+
+fn scan_expr(e: &Expr, where_: &str, out: &mut Vec<String>) {
+    match e {
+        Expr::Unop(UnaryOp::XorR, _) => {
+            out.push(format!("xorR used in {where_} is outside the transformable subset"))
+        }
+        Expr::Unop(_, a) => scan_expr(a, where_, out),
+        Expr::Binop(op, a, b) => {
+            if matches!(op, chicala_chisel::BinaryOp::Div | chicala_chisel::BinaryOp::Rem) {
+                // Signed division is rejected during codegen, where types are
+                // known; nothing to do here.
+            }
+            scan_expr(a, where_, out);
+            scan_expr(b, where_, out);
+        }
+        Expr::Mux(c, t, f) => {
+            scan_expr(c, where_, out);
+            scan_expr(t, where_, out);
+            scan_expr(f, where_, out);
+        }
+        Expr::Extract { arg, .. }
+        | Expr::ShlP { arg, .. }
+        | Expr::ShrP { arg, .. }
+        | Expr::Fill { arg, .. } => scan_expr(arg, where_, out),
+        Expr::BitAt { arg, index } => {
+            scan_expr(arg, where_, out);
+            scan_expr(index, where_, out);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                scan_expr(a, where_, out);
+            }
+        }
+        Expr::Ref(_) | Expr::LitU { .. } | Expr::LitS { .. } | Expr::LitB(_) => {}
+    }
+}
+
+fn scan_stmts(stmts: &[Stmt], where_: &str, out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Connect { rhs, .. } => scan_expr(rhs, where_, out),
+            Stmt::When { cond, then_body, else_body } => {
+                scan_expr(cond, where_, out);
+                scan_stmts(then_body, where_, out);
+                scan_stmts(else_body, where_, out);
+            }
+            Stmt::For { body, .. } => scan_stmts(body, where_, out),
+        }
+    }
+}
+
+fn stmt_reads_and_writes(stmts: &[Stmt], reads: &mut Vec<String>, writes: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Connect { lhs, rhs } => {
+                if !writes.contains(&lhs.base) {
+                    writes.push(lhs.base.clone());
+                }
+                for r in rhs.reads() {
+                    if !reads.contains(&r) {
+                        reads.push(r);
+                    }
+                }
+            }
+            Stmt::When { cond, then_body, else_body } => {
+                for r in cond.reads() {
+                    if !reads.contains(&r) {
+                        reads.push(r);
+                    }
+                }
+                stmt_reads_and_writes(then_body, reads, writes);
+                stmt_reads_and_writes(else_body, reads, writes);
+            }
+            Stmt::For { body, .. } => stmt_reads_and_writes(body, reads, writes),
+        }
+    }
+}
+
+/// Checks `module` against the transformable subset.
+///
+/// # Examples
+///
+/// ```
+/// let m = chicala_chisel::examples::rotate_example();
+/// assert!(chicala_core::check_module(&m).is_ok());
+/// ```
+pub fn check_module(module: &Module) -> CheckReport {
+    let mut violations = Vec::new();
+
+    // Micro (3): bundles are pure and contain only ground/vec-of-ground
+    // fields.
+    for d in &module.decls {
+        bundle_is_pure(&d.name, &d.ty, &mut violations);
+    }
+
+    // Micro (5): functions are combinational — they only mention their own
+    // arguments and locals, never module signals (in particular, never
+    // registers).
+    for f in &module.funcs {
+        let mut allowed: Vec<String> = f.args.iter().map(|(n, _)| n.clone()).collect();
+        allowed.extend(f.locals.iter().map(|d| d.name.clone()));
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        stmt_reads_and_writes(&f.body, &mut reads, &mut writes);
+        for r in f.result.reads() {
+            if !reads.contains(&r) {
+                reads.push(r);
+            }
+        }
+        for name in reads.iter().chain(writes.iter()) {
+            if !allowed.contains(name) && module.func(name).is_none() {
+                violations.push(format!(
+                    "function `{}` mentions module signal `{name}` (micro condition 5)",
+                    f.name
+                ));
+            }
+        }
+        for w in &writes {
+            if f.args.iter().any(|(n, _)| n == w) {
+                violations.push(format!(
+                    "function `{}` connects to its argument `{w}` (micro condition 2)",
+                    f.name
+                ));
+            }
+        }
+    }
+
+    // Subset prescan: constructs codegen cannot express.
+    scan_stmts(&module.body, "the module body", &mut violations);
+    for f in &module.funcs {
+        scan_stmts(&f.body, &format!("function `{}`", f.name), &mut violations);
+        scan_expr(&f.result, &format!("function `{}`", f.name), &mut violations);
+    }
+    for d in &module.decls {
+        if let SignalKind::Node(e) = &d.kind {
+            scan_expr(e, &format!("node `{}`", d.name), &mut violations);
+        }
+    }
+
+    // Connects must target wires, outputs, or registers.
+    check_targets(&module.body, module, &mut violations);
+
+    CheckReport { violations }
+}
+
+fn check_targets(stmts: &[Stmt], module: &Module, out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Connect { lhs, .. } => match module.decl(&lhs.base).map(|d| &d.kind) {
+                Some(SignalKind::Input) => {
+                    out.push(format!("connect drives input `{}`", lhs.base))
+                }
+                Some(SignalKind::Node(_)) => {
+                    out.push(format!("connect drives node `{}`", lhs.base))
+                }
+                None => out.push(format!("connect drives undeclared signal `{}`", lhs.base)),
+                _ => {}
+            },
+            Stmt::When { then_body, else_body, .. } => {
+                check_targets(then_body, module, out);
+                check_targets(else_body, module, out);
+            }
+            Stmt::For { body, .. } => check_targets(body, module, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chicala_chisel::examples::rotate_example;
+    use chicala_chisel::{ChiselType, Expr, ModuleBuilder, PExpr};
+
+    #[test]
+    fn rotate_example_accepted() {
+        assert!(check_module(&rotate_example()).is_ok());
+    }
+
+    #[test]
+    fn function_touching_register_rejected() {
+        let mut mb = ModuleBuilder::new("Bad", &["w"]);
+        let w = mb.param("w");
+        let _r = mb.reg("r", ChiselType::uint(w.clone()));
+        mb.func("f", vec![], ChiselType::uint(w), |_| Expr::sig("r"));
+        let m = mb.build();
+        let rep = check_module(&m);
+        assert!(!rep.is_ok());
+        assert!(rep.violations[0].contains("micro condition 5"));
+    }
+
+    #[test]
+    fn xorr_rejected() {
+        let mut mb = ModuleBuilder::new("Bad", &["w"]);
+        let w = mb.param("w");
+        let a = mb.input("a", ChiselType::uint(w));
+        let y = mb.output("y", ChiselType::Bool);
+        mb.connect(y.lv(), a.e().xor_r());
+        let rep = check_module(&mb.build());
+        assert!(rep.violations.iter().any(|v| v.contains("xorR")));
+    }
+
+    #[test]
+    fn driving_input_rejected() {
+        let mut mb = ModuleBuilder::new("Bad", &["w"]);
+        let w = mb.param("w");
+        let a = mb.input("a", ChiselType::uint(w));
+        mb.connect(a.lv(), Expr::lit(0));
+        let rep = check_module(&mb.build());
+        assert!(rep.violations.iter().any(|v| v.contains("drives input")));
+    }
+
+    #[test]
+    fn impure_bundle_rejected() {
+        let mut mb = ModuleBuilder::new("Bad", &["w"]);
+        let inner = ChiselType::Bundle(vec![("x".into(), ChiselType::Bool)]);
+        let outer = ChiselType::Bundle(vec![("nested".into(), inner)]);
+        let _ = mb.input("io", outer);
+        let rep = check_module(&mb.build());
+        assert!(rep.violations.iter().any(|v| v.contains("micro condition 3")));
+        let _ = PExpr::Const(0);
+    }
+}

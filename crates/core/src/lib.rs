@@ -1,0 +1,458 @@
+//! The Chisel-to-sequential transformation — the paper's primary
+//! contribution.
+//!
+//! [`transform`] turns a parameterized Chisel module (from
+//! [`chicala_chisel`]) into a sequential software simulator (a
+//! [`chicala_seq::SeqProgram`]) with the `Trans` / `Run` / `Init` structure
+//! of the paper's Listing 2, preserving the bit-width parameters so the
+//! program — and hence the hardware — can be verified *for all bit widths
+//! at once*. The pipeline is:
+//!
+//! 1. applicability checking against the §2.4 subset ([`check_module`]);
+//! 2. statement splitting of `when` blocks into single-connect units;
+//! 3. dependency analysis and stable topological reordering (§2.3);
+//! 4. re-merging of adjacent units into `if`/`else` nests;
+//! 5. code generation into explicit integer arithmetic over `Pow2`
+//!    (bit-vectors become bounded mathematical integers, §2.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use chicala_chisel::examples::rotate_example;
+//! use chicala_core::transform;
+//!
+//! let out = transform(&rotate_example())?;
+//! let text = out.program.to_string();
+//! assert!(text.contains("def Trans(ins: Inputs, regs: Regs)"));
+//! // The reordering moved `io_ready := state` ahead of the if that tests it.
+//! let ready_pos = text.find("io_ready := state").expect("present");
+//! let if_pos = text.find("if (io_ready)").expect("present");
+//! assert!(ready_pos < if_pos);
+//! # Ok::<(), chicala_core::TransformError>(())
+//! ```
+
+mod check;
+mod codegen;
+mod reorder;
+mod split;
+mod typing;
+
+pub use check::{check_module, CheckReport};
+pub use codegen::{flatten_decl, merge, p2s, CodegenError, Merged, TExpr, Translator};
+pub use reorder::{
+    reorder, CircularDependencyError, Classify, FuncClassifier, ModuleClassifier, SignalClass,
+};
+pub use split::{split, split_from, Guard, Unit};
+pub use typing::{STy, TypeCtx, TypeError};
+
+use chicala_chisel::{ChiselType, LValue, Module, SignalKind, Stmt};
+use chicala_seq::{next_name, SExpr, SFunc, SStmt, SeqProgram, SeqVarDecl};
+use std::fmt;
+
+/// Options controlling the transformation (the ablation switches).
+#[derive(Clone, Copy, Debug)]
+pub struct TransformOptions {
+    /// Run the applicability checker first.
+    pub check: bool,
+    /// Reorder statements by dependency (§2.3). Disabling this reproduces
+    /// the naive source-order transformation, which is *incorrect* for
+    /// modules with forward combinational dependencies.
+    pub reorder: bool,
+    /// Re-merge adjacent split units into `if`/`else` nests.
+    pub merge: bool,
+}
+
+impl Default for TransformOptions {
+    fn default() -> Self {
+        TransformOptions { check: true, reorder: true, merge: true }
+    }
+}
+
+/// Errors raised by the transformation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// The module is outside the transformable subset.
+    Rejected(Vec<String>),
+    /// Circular signal dependencies (macro condition 3).
+    Cycle(CircularDependencyError),
+    /// Code generation failure.
+    Codegen(CodegenError),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Rejected(v) => {
+                write!(f, "module rejected by the applicability checker: {}", v.join("; "))
+            }
+            TransformError::Cycle(e) => write!(f, "{e}"),
+            TransformError::Codegen(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<CircularDependencyError> for TransformError {
+    fn from(e: CircularDependencyError) -> Self {
+        TransformError::Cycle(e)
+    }
+}
+
+impl From<CodegenError> for TransformError {
+    fn from(e: CodegenError) -> Self {
+        TransformError::Codegen(e)
+    }
+}
+
+/// The transformation result: the generated program plus side conditions
+/// (literal-fit obligations) the verifier should discharge.
+#[derive(Clone, Debug)]
+pub struct TransformOutput {
+    /// The generated sequential program.
+    pub program: SeqProgram,
+    /// Boolean side conditions over the parameters (e.g. `(len-1).U(len.W)`
+    /// fits) to be assumed/checked during verification.
+    pub obligations: Vec<SExpr>,
+}
+
+/// Transforms `module` with default options.
+///
+/// # Errors
+///
+/// See [`transform_with`].
+pub fn transform(module: &Module) -> Result<TransformOutput, TransformError> {
+    transform_with(module, TransformOptions::default())
+}
+
+/// Transforms `module` into a sequential program.
+///
+/// # Errors
+///
+/// Returns [`TransformError::Rejected`] if the applicability check fails,
+/// [`TransformError::Cycle`] on circular combinational dependencies, and
+/// [`TransformError::Codegen`] for constructs outside the subset.
+pub fn transform_with(
+    module: &Module,
+    opts: TransformOptions,
+) -> Result<TransformOutput, TransformError> {
+    if opts.check {
+        let report = check_module(module);
+        if !report.is_ok() {
+            return Err(TransformError::Rejected(report.violations));
+        }
+    }
+
+    // Node definitions are scheduled as ordinary units, ahead of the body.
+    let node_stmts: Vec<Stmt> = module
+        .decls
+        .iter()
+        .filter_map(|d| match &d.kind {
+            SignalKind::Node(e) => Some(Stmt::Connect {
+                lhs: LValue::new(d.name.clone()),
+                rhs: e.clone(),
+            }),
+            _ => None,
+        })
+        .collect();
+    let node_units = split(&node_stmts);
+    let body_units = split_from(&module.body, node_units.len());
+    let mut units = node_units;
+    units.extend(body_units);
+
+    let ordered = if opts.reorder {
+        reorder(units, &ModuleClassifier::new(module))?
+    } else {
+        units
+    };
+    let merged = merge(&ordered, opts.merge);
+
+    let mut tr = Translator::new(TypeCtx::new(module));
+
+    // Variable declarations and `Trans` prologue (Listing 2 lines 6–10).
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut regs = Vec::new();
+    let mut prologue: Vec<SStmt> = Vec::new();
+    for d in &module.decls {
+        for (name, ty) in flatten_decl(&d.name, &d.ty) {
+            let width = width_meta(&ty);
+            match &d.kind {
+                SignalKind::Input => {
+                    inputs.push(SeqVarDecl { name, width, init: None });
+                }
+                SignalKind::Output => {
+                    prologue.push(SStmt::Let { name: name.clone(), init: default_value(&ty) });
+                    outputs.push(SeqVarDecl { name, width, init: None });
+                }
+                SignalKind::Wire | SignalKind::Node(_) => {
+                    prologue.push(SStmt::Let { name: name.clone(), init: default_value(&ty) });
+                }
+                SignalKind::Reg { init } => {
+                    prologue.push(SStmt::Let {
+                        name: next_name(&name),
+                        init: SExpr::var(name.clone()),
+                    });
+                    let init = match init {
+                        Some(e) => {
+                            let ity = STy::from_chisel(&ty);
+                            let t = tr.tr(e)?;
+                            Some(match ity {
+                                STy::Bool => t.as_bool()?,
+                                _ => t.as_int()?,
+                            })
+                        }
+                        None => None,
+                    };
+                    regs.push(SeqVarDecl { name, width, init });
+                }
+            }
+        }
+    }
+
+    // Translate the merged body; connects to registers retarget `r_next`.
+    let reg_names: Vec<String> = regs.iter().map(|r| r.name.clone()).collect();
+    let mut body = translate_merged(&merged, &mut tr, &reg_names)?;
+    let mut trans = prologue;
+    trans.append(&mut body);
+
+    // Helper functions: reorder each body independently (§2.3).
+    let mut funcs = Vec::new();
+    for f in &module.funcs {
+        funcs.push(translate_func(module, f, opts)?);
+    }
+
+    let program = SeqProgram {
+        name: module.name.clone(),
+        params: module.params.clone(),
+        inputs,
+        outputs,
+        regs,
+        trans,
+        timeout: None,
+        funcs,
+    };
+    Ok(TransformOutput { program, obligations: tr.obligations })
+}
+
+fn width_meta(ty: &ChiselType) -> Option<SExpr> {
+    match ty {
+        ChiselType::UInt(w) | ChiselType::SInt(w) => Some(p2s(w)),
+        _ => None,
+    }
+}
+
+fn default_value(ty: &ChiselType) -> SExpr {
+    match ty {
+        ChiselType::UInt(_) | ChiselType::SInt(_) => SExpr::int(0),
+        ChiselType::Bool => SExpr::BoolConst(false),
+        ChiselType::Vec(elem, len) => {
+            let inner = match elem.as_ref() {
+                // List elements are stored as integers.
+                ChiselType::Bool => SExpr::int(0),
+                other => default_value(other),
+            };
+            SExpr::ListFill(Box::new(p2s(len)), Box::new(inner))
+        }
+        ChiselType::Bundle(_) => unreachable!("bundles are flattened before defaults"),
+    }
+}
+
+fn translate_merged(
+    nodes: &[Merged],
+    tr: &mut Translator<'_>,
+    reg_names: &[String],
+) -> Result<Vec<SStmt>, TransformError> {
+    let mut out = Vec::new();
+    for n in nodes {
+        match n {
+            Merged::Assign { lhs, rhs } => {
+                let mut stmt = tr.tr_assign(lhs, rhs)?;
+                if let SStmt::Assign { name, rhs } = &mut stmt {
+                    if reg_names.contains(name) {
+                        // Retarget to the next-state copy; list updates must
+                        // also *read* the accumulated next-state value.
+                        let next = next_name(name);
+                        let new_rhs = rename_var(rhs, name, &next);
+                        *rhs = new_rhs;
+                        *name = next;
+                    }
+                }
+                out.push(stmt);
+            }
+            Merged::If { cond, then_b, else_b } => {
+                let c = tr.tr(cond)?.as_bool()?;
+                out.push(SStmt::If {
+                    cond: c,
+                    then_body: translate_merged(then_b, tr, reg_names)?,
+                    else_body: translate_merged(else_b, tr, reg_names)?,
+                });
+            }
+            Merged::Loop { var, start, end, body } => {
+                out.push(SStmt::For {
+                    var: var.clone(),
+                    start: p2s(start),
+                    end: p2s(end),
+                    invariants: Vec::new(),
+                    body: translate_merged(body, tr, reg_names)?,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renames free occurrences of variable `from` to `to` in an expression.
+fn rename_var(e: &SExpr, from: &str, to: &str) -> SExpr {
+    use SExpr::*;
+    let r = |x: &SExpr| Box::new(rename_var(x, from, to));
+    match e {
+        Const(_) | BoolConst(_) => e.clone(),
+        Var(n) => {
+            if n == from {
+                Var(to.to_string())
+            } else {
+                e.clone()
+            }
+        }
+        Binop(op, a, b) => Binop(*op, r(a), r(b)),
+        Pow2(a) => Pow2(r(a)),
+        Cmp(op, a, b) => Cmp(*op, r(a), r(b)),
+        And(a, b) => And(r(a), r(b)),
+        Or(a, b) => Or(r(a), r(b)),
+        Not(a) => Not(r(a)),
+        Ite(c, t, f) => Ite(r(c), r(t), r(f)),
+        ListLit(es) => ListLit(es.iter().map(|x| rename_var(x, from, to)).collect()),
+        ListGet(l, i) => ListGet(r(l), r(i)),
+        ListSet(l, i, v) => ListSet(r(l), r(i), r(v)),
+        ListLen(l) => ListLen(r(l)),
+        ListFill(n, v) => ListFill(r(n), r(v)),
+        ListAppend(l, v) => ListAppend(r(l), r(v)),
+        Sum(l) => Sum(r(l)),
+        ToZ(l) => ToZ(r(l)),
+        Call(f, args) => Call(f.clone(), args.iter().map(|x| rename_var(x, from, to)).collect()),
+    }
+}
+
+fn translate_func(
+    module: &Module,
+    f: &chicala_chisel::FuncDef,
+    opts: TransformOptions,
+) -> Result<SFunc, TransformError> {
+    // Node locals become leading units, like module-level nodes.
+    let node_stmts: Vec<Stmt> = f
+        .locals
+        .iter()
+        .filter_map(|d| match &d.kind {
+            SignalKind::Node(e) => {
+                Some(Stmt::Connect { lhs: LValue::new(d.name.clone()), rhs: e.clone() })
+            }
+            _ => None,
+        })
+        .collect();
+    let node_units = split(&node_stmts);
+    let body_units = split_from(&f.body, node_units.len());
+    let mut units = node_units;
+    units.extend(body_units);
+    let ordered = if opts.reorder {
+        let cls = FuncClassifier::new(f.locals.iter().map(|d| d.name.clone()));
+        reorder(units, &cls)?
+    } else {
+        units
+    };
+    let merged = merge(&ordered, opts.merge);
+    let mut tr = Translator::new(TypeCtx::for_func(module, f));
+    let mut body: Vec<SStmt> = f
+        .locals
+        .iter()
+        .flat_map(|d| {
+            flatten_decl(&d.name, &d.ty).into_iter().map(|(name, ty)| SStmt::Let {
+                name,
+                init: default_value(&ty),
+            })
+        })
+        .collect();
+    body.extend(translate_merged(&merged, &mut tr, &[])?);
+    let ret_ty = STy::from_chisel(&f.ret);
+    let result = {
+        let t = tr.tr(&f.result)?;
+        match ret_ty {
+            STy::Bool => t.as_bool()?,
+            STy::Ground { .. } => t.as_int()?,
+            _ => t.s,
+        }
+    };
+    Ok(SFunc {
+        name: f.name.clone(),
+        params: f.args.iter().map(|(n, _)| n.clone()).collect(),
+        requires: Vec::new(),
+        ensures: Vec::new(),
+        body,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chicala_chisel::examples::rotate_example;
+
+    #[test]
+    fn transform_rotate_example_matches_listing2_shape() {
+        let out = transform(&rotate_example()).expect("transforms");
+        let p = &out.program;
+        assert_eq!(p.params, vec!["len".to_string()]);
+        assert_eq!(p.inputs.len(), 1);
+        assert_eq!(p.outputs.len(), 2);
+        assert_eq!(p.regs.len(), 3);
+        // Register inits: state=true, cnt=0, R uninitialised.
+        let state = p.regs.iter().find(|r| r.name == "state").expect("state");
+        assert_eq!(state.init, Some(SExpr::BoolConst(true)));
+        let r = p.regs.iter().find(|r| r.name == "R").expect("R");
+        assert_eq!(r.init, None);
+        let text = p.to_string();
+        // io_ready := state precedes the if (reordering), and the split
+        // units were re-merged into a single if/else.
+        let ready = text.find("io_ready := state").expect("present");
+        let iff = text.find("if (io_ready)").expect("present");
+        assert!(ready < iff, "reordered:\n{text}");
+        assert!(text.contains("} else {"), "merged:\n{text}");
+    }
+
+    #[test]
+    fn reorder_disabled_keeps_source_order() {
+        let out = transform_with(
+            &rotate_example(),
+            TransformOptions { reorder: false, ..Default::default() },
+        )
+        .expect("transforms");
+        let text = out.program.to_string();
+        let ready = text.find("io_ready := state").expect("present");
+        let iff = text.find("if (io_ready)").expect("present");
+        assert!(iff < ready, "no reordering:\n{text}");
+    }
+
+    #[test]
+    fn rejected_module_reports_violations() {
+        use chicala_chisel::{ChiselType, ModuleBuilder};
+        let mut mb = ModuleBuilder::new("Bad", &["w"]);
+        let w = mb.param("w");
+        let a = mb.input("a", ChiselType::uint(w));
+        let y = mb.output("y", ChiselType::Bool);
+        mb.connect(y.lv(), a.e().xor_r());
+        match transform(&mb.build()) {
+            Err(TransformError::Rejected(v)) => assert!(v[0].contains("xorR")),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn obligations_cover_literals() {
+        let out = transform(&rotate_example()).expect("transforms");
+        // (len-1).U(len.W) and 1.U(len.W), 0.U(len.W) produce fit
+        // obligations.
+        assert!(!out.obligations.is_empty());
+        let txt: Vec<String> = out.obligations.iter().map(|o| o.to_string()).collect();
+        assert!(txt.iter().any(|t| t.contains("(len - 1)")), "{txt:?}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Dependency analysis and stable topological reordering (§2.3).
+//!
+//! Edges are built from four dependency scenarios:
+//! (i) successive connects to the same signal keep their order
+//!     (last-connect-wins);
+//! (ii) a unit *using* a combinational signal depends on that signal's last
+//!      connect (registers are exempt: reading a register reads the previous
+//!      cycle's value);
+//! (iii) definitions precede references (node definitions are scheduled as
+//!       ordinary units);
+//! (iv) guard conditions count as uses (their reads are part of each unit's
+//!      read set).
+//!
+//! The sort is stable: among ready units, the smallest source position runs
+//! first, so independent statements keep their source order.
+
+use crate::split::Unit;
+use chicala_chisel::{Module, SignalKind};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+
+/// Error raised when the dependency graph is cyclic (macro-level condition
+/// (3) of §2.4 is violated).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircularDependencyError {
+    /// Signals written by the units stuck on the cycle.
+    pub signals: Vec<String>,
+}
+
+impl fmt::Display for CircularDependencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circular signal dependency through: {}", self.signals.join(", "))
+    }
+}
+
+impl std::error::Error for CircularDependencyError {}
+
+/// How a signal behaves for dependency purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignalClass {
+    /// Wire, output, or node: reads see this cycle's final value.
+    Combinational,
+    /// Register: reads see the previous cycle's value.
+    Register,
+    /// Input: never written.
+    Input,
+}
+
+/// Classifier for signal base names; the module body and function bodies
+/// need different contexts.
+pub trait Classify {
+    /// Classifies a base name; `None` for unknown names (treated as inputs,
+    /// e.g. function arguments).
+    fn classify(&self, base: &str) -> Option<SignalClass>;
+}
+
+/// Classifier over a module's declarations.
+pub struct ModuleClassifier<'m> {
+    module: &'m Module,
+}
+
+impl<'m> ModuleClassifier<'m> {
+    /// Creates a classifier for `module`.
+    pub fn new(module: &'m Module) -> Self {
+        ModuleClassifier { module }
+    }
+}
+
+impl Classify for ModuleClassifier<'_> {
+    fn classify(&self, base: &str) -> Option<SignalClass> {
+        self.module.decl(base).map(|d| match d.kind {
+            SignalKind::Input => SignalClass::Input,
+            SignalKind::Reg { .. } => SignalClass::Register,
+            SignalKind::Output | SignalKind::Wire | SignalKind::Node(_) => {
+                SignalClass::Combinational
+            }
+        })
+    }
+}
+
+/// Classifier for function bodies: locals are combinational, everything
+/// else (arguments) is treated as an input.
+pub struct FuncClassifier {
+    locals: BTreeSet<String>,
+}
+
+impl FuncClassifier {
+    /// Creates a classifier with the given local names.
+    pub fn new(locals: impl IntoIterator<Item = String>) -> Self {
+        FuncClassifier { locals: locals.into_iter().collect() }
+    }
+}
+
+impl Classify for FuncClassifier {
+    fn classify(&self, base: &str) -> Option<SignalClass> {
+        if self.locals.contains(base) {
+            Some(SignalClass::Combinational)
+        } else {
+            None
+        }
+    }
+}
+
+/// Reorders `units` topologically (stable), per the dependency scenarios.
+///
+/// # Errors
+///
+/// Returns [`CircularDependencyError`] if the dependencies are cyclic.
+pub fn reorder(units: Vec<Unit>, classify: &dyn Classify) -> Result<Vec<Unit>, CircularDependencyError> {
+    let n = units.len();
+    let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut preds: Vec<usize> = vec![0; n];
+
+    // Writer lists per signal, in source order.
+    let mut writers: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| units[i].origin());
+    for &i in &order {
+        for w in units[i].writes() {
+            writers.entry(w).or_default().push(i);
+        }
+    }
+
+    let add_edge = |from: usize, to: usize, succs: &mut Vec<BTreeSet<usize>>, preds: &mut Vec<usize>| {
+        if from != to && succs[from].insert(to) {
+            preds[to] += 1;
+        }
+    };
+
+    // (i) write-write order per signal.
+    for ws in writers.values() {
+        for pair in ws.windows(2) {
+            add_edge(pair[0], pair[1], &mut succs, &mut preds);
+        }
+    }
+
+    // (ii)/(iv): each use of a combinational signal depends on its last
+    // connect.
+    for (i, u) in units.iter().enumerate() {
+        for r in u.reads() {
+            let class = classify.classify(&r).unwrap_or(SignalClass::Input);
+            if class != SignalClass::Combinational {
+                continue;
+            }
+            if let Some(ws) = writers.get(&r) {
+                if let Some(&last) = ws.last() {
+                    add_edge(last, i, &mut succs, &mut preds);
+                }
+            }
+        }
+    }
+
+    // Stable Kahn: ready units by source position.
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+    for i in 0..n {
+        if preds[i] == 0 {
+            heap.push(Reverse((units[i].origin(), i)));
+        }
+    }
+    let mut out_idx = Vec::with_capacity(n);
+    while let Some(Reverse((_, i))) = heap.pop() {
+        out_idx.push(i);
+        for &j in &succs[i] {
+            preds[j] -= 1;
+            if preds[j] == 0 {
+                heap.push(Reverse((units[j].origin(), j)));
+            }
+        }
+    }
+    if out_idx.len() != n {
+        let stuck: BTreeSet<usize> = (0..n).filter(|i| !out_idx.contains(i)).collect();
+        let mut signals = Vec::new();
+        for i in stuck {
+            for w in units[i].writes() {
+                if !signals.contains(&w) {
+                    signals.push(w);
+                }
+            }
+        }
+        return Err(CircularDependencyError { signals });
+    }
+    let mut slots: Vec<Option<Unit>> = units.into_iter().map(Some).collect();
+    Ok(out_idx
+        .into_iter()
+        .map(|i| slots[i].take().expect("each index emitted once"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::split;
+    use chicala_chisel::examples::rotate_example;
+    use chicala_chisel::{Expr, LValue, Stmt};
+
+    #[test]
+    fn rotate_example_hoists_ready_connect() {
+        // io_ready := state must move before the when(io_ready) block
+        // (the paper's motivating reordering).
+        let m = rotate_example();
+        let units = split(&m.body);
+        let cls = ModuleClassifier::new(&m);
+        let ordered = reorder(units, &cls).expect("acyclic");
+        let pos_ready_connect = ordered
+            .iter()
+            .position(|u| matches!(u, Unit::Assign { lhs, .. } if lhs.base == "io_ready"))
+            .expect("present");
+        let first_guarded = ordered
+            .iter()
+            .position(|u| !u.guards().is_empty())
+            .expect("guarded units exist");
+        assert!(
+            pos_ready_connect < first_guarded,
+            "io_ready := state must precede all units guarded by io_ready"
+        );
+    }
+
+    #[test]
+    fn registers_do_not_create_use_edges() {
+        // R := R + something is fine: reading R reads last cycle's value.
+        let m = rotate_example();
+        let units = split(&m.body);
+        let cls = ModuleClassifier::new(&m);
+        assert!(reorder(units, &cls).is_ok());
+    }
+
+    #[test]
+    fn cyclic_wires_detected() {
+        // a := b; b := a with a, b wires is a combinational cycle.
+        use chicala_chisel::{ChiselType, ModuleBuilder};
+        let mut mb = ModuleBuilder::new("Cyc", &[]);
+        let a = mb.wire("a", ChiselType::Bool);
+        let b = mb.wire("b", ChiselType::Bool);
+        mb.connect(a.lv(), b.e());
+        mb.connect(b.lv(), a.e());
+        let m = mb.build();
+        let units = split(&m.body);
+        let cls = ModuleClassifier::new(&m);
+        let err = reorder(units, &cls).expect_err("cycle");
+        assert!(err.signals.contains(&"a".to_string()));
+        assert!(err.signals.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn stable_order_without_dependencies() {
+        let stmts = vec![
+            Stmt::Connect { lhs: LValue::new("x"), rhs: Expr::lit(1) },
+            Stmt::Connect { lhs: LValue::new("y"), rhs: Expr::lit(2) },
+            Stmt::Connect { lhs: LValue::new("z"), rhs: Expr::lit(3) },
+        ];
+        let units = split(&stmts);
+        let cls = FuncClassifier::new(["x".to_string(), "y".to_string(), "z".to_string()]);
+        let ordered = reorder(units, &cls).expect("acyclic");
+        let bases: Vec<_> = ordered
+            .iter()
+            .map(|u| match u {
+                Unit::Assign { lhs, .. } => lhs.base.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(bases, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn last_connect_wins_order_preserved() {
+        let stmts = vec![
+            Stmt::Connect { lhs: LValue::new("x"), rhs: Expr::lit(1) },
+            Stmt::Connect { lhs: LValue::new("x"), rhs: Expr::lit(2) },
+        ];
+        let units = split(&stmts);
+        let cls = FuncClassifier::new(["x".to_string()]);
+        let ordered = reorder(units, &cls).expect("acyclic");
+        match (&ordered[0], &ordered[1]) {
+            (Unit::Assign { rhs: r1, .. }, Unit::Assign { rhs: r2, .. }) => {
+                assert_eq!(r1.to_string(), "1.U");
+                assert_eq!(r2.to_string(), "2.U");
+            }
+            _ => panic!("expected two assigns"),
+        }
+    }
+}

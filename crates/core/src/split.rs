@@ -1,0 +1,201 @@
+//! Statement splitting (§2.3): `when`/`otherwise` blocks are broken into
+//! single-connect units so the reordering pass can move each connect
+//! independently; adjacent units are re-merged after reordering.
+
+use chicala_chisel::{Expr, LValue, PExpr, Stmt};
+
+/// One guard on a unit: a `when` condition with a polarity (`true` for the
+/// `when` branch, `false` for `otherwise`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Guard {
+    /// The branch condition.
+    pub cond: Expr,
+    /// Whether the unit sits in the `when` (true) or `otherwise` (false)
+    /// branch.
+    pub polarity: bool,
+}
+
+/// An atomic schedulable unit produced by splitting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// A single connect under a stack of guards.
+    Assign {
+        /// Enclosing `when` guards, outermost first.
+        guards: Vec<Guard>,
+        /// Connect target.
+        lhs: LValue,
+        /// Connect source.
+        rhs: Expr,
+        /// Source position (for stable reordering).
+        origin: usize,
+    },
+    /// A generator loop, kept whole at this level; its body is split and
+    /// reordered independently (like function bodies, §2.3).
+    Loop {
+        /// Enclosing guards.
+        guards: Vec<Guard>,
+        /// Loop variable.
+        var: String,
+        /// Inclusive lower bound.
+        start: PExpr,
+        /// Exclusive upper bound.
+        end: PExpr,
+        /// Split body units.
+        body: Vec<Unit>,
+        /// Source position.
+        origin: usize,
+    },
+}
+
+impl Unit {
+    /// Source position of the unit.
+    pub fn origin(&self) -> usize {
+        match self {
+            Unit::Assign { origin, .. } | Unit::Loop { origin, .. } => *origin,
+        }
+    }
+
+    /// Guards of the unit.
+    pub fn guards(&self) -> &[Guard] {
+        match self {
+            Unit::Assign { guards, .. } | Unit::Loop { guards, .. } => guards,
+        }
+    }
+
+    /// Base names of signals written by this unit.
+    pub fn writes(&self) -> Vec<String> {
+        match self {
+            Unit::Assign { lhs, .. } => vec![lhs.base.clone()],
+            Unit::Loop { body, .. } => {
+                let mut out = Vec::new();
+                for u in body {
+                    for w in u.writes() {
+                        if !out.contains(&w) {
+                            out.push(w);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Base names of signals read by this unit (guards included).
+    pub fn reads(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut push = |names: Vec<String>| {
+            for n in names {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        };
+        match self {
+            Unit::Assign { guards, rhs, .. } => {
+                for g in guards {
+                    push(g.cond.reads());
+                }
+                push(rhs.reads());
+            }
+            Unit::Loop { guards, body, .. } => {
+                for g in guards {
+                    push(g.cond.reads());
+                }
+                for u in body {
+                    push(u.reads());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits statements into atomic units. `origin` numbering follows a
+/// pre-order walk, so source order is recoverable.
+pub fn split(stmts: &[Stmt]) -> Vec<Unit> {
+    split_from(stmts, 0)
+}
+
+/// Like [`split`], with origins starting at `offset` (used to schedule node
+/// definitions ahead of the body).
+pub fn split_from(stmts: &[Stmt], offset: usize) -> Vec<Unit> {
+    let mut units = Vec::new();
+    let mut counter = offset;
+    split_into(stmts, &mut Vec::new(), &mut units, &mut counter);
+    units
+}
+
+fn split_into(stmts: &[Stmt], guards: &mut Vec<Guard>, out: &mut Vec<Unit>, counter: &mut usize) {
+    for s in stmts {
+        match s {
+            Stmt::Connect { lhs, rhs } => {
+                let origin = *counter;
+                *counter += 1;
+                out.push(Unit::Assign {
+                    guards: guards.clone(),
+                    lhs: lhs.clone(),
+                    rhs: rhs.clone(),
+                    origin,
+                });
+            }
+            Stmt::When { cond, then_body, else_body } => {
+                guards.push(Guard { cond: cond.clone(), polarity: true });
+                split_into(then_body, guards, out, counter);
+                guards.pop();
+                guards.push(Guard { cond: cond.clone(), polarity: false });
+                split_into(else_body, guards, out, counter);
+                guards.pop();
+            }
+            Stmt::For { var, start, end, body } => {
+                let origin = *counter;
+                *counter += 1;
+                let mut inner = Vec::new();
+                split_into(body, &mut Vec::new(), &mut inner, counter);
+                out.push(Unit::Loop {
+                    guards: guards.clone(),
+                    var: var.clone(),
+                    start: start.clone(),
+                    end: end.clone(),
+                    body: inner,
+                    origin,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chicala_chisel::examples::rotate_example;
+
+    #[test]
+    fn rotate_example_splits_into_five_plus_two_units() {
+        // Listing 1's when-otherwise holds 4 connects + 1 nested when with
+        // 1 connect; plus the two trailing connects: 7 assign units total.
+        let m = rotate_example();
+        let units = split(&m.body);
+        assert_eq!(units.len(), 7);
+        // The nested `state := true.B` carries two guards.
+        let nested = units
+            .iter()
+            .find(|u| match u {
+                Unit::Assign { guards, lhs, .. } => lhs.base == "state" && guards.len() == 2,
+                _ => false,
+            })
+            .expect("nested state connect exists");
+        assert!(!nested.guards()[0].polarity, "inside the otherwise branch");
+        assert!(nested.guards()[1].polarity);
+    }
+
+    #[test]
+    fn reads_and_writes() {
+        let m = rotate_example();
+        let units = split(&m.body);
+        let first = &units[0]; // R := io_in under when(io_ready)
+        assert_eq!(first.writes(), vec!["R".to_string()]);
+        let reads = first.reads();
+        assert!(reads.contains(&"io_ready".to_string()));
+        assert!(reads.contains(&"io_in".to_string()));
+    }
+}

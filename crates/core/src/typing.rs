@@ -1,0 +1,351 @@
+//! Symbolic typing of IR expressions: width (as a [`PExpr`] over the module
+//! parameters) and signedness.
+//!
+//! These rules must agree exactly with the concrete evaluation rules of
+//! `chicala_chisel`'s interpreter — the co-simulation tests enforce this.
+
+use chicala_chisel::{
+    Accessor, BinaryOp, ChiselType, Expr, FuncDef, Module, PExpr, SignalRef, UnaryOp,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The symbolic type of an expression: a ground shape (scalar or list) with
+/// parameter-dependent width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum STy {
+    /// Scalar bit-vector.
+    Ground {
+        /// Width over the parameters.
+        width: PExpr,
+        /// Signedness.
+        signed: bool,
+    },
+    /// Boolean.
+    Bool,
+    /// Vector (becomes a Scala list).
+    Vec {
+        /// Element type.
+        elem: Box<STy>,
+        /// Length over the parameters.
+        len: PExpr,
+    },
+    /// Bundle (flattened before expressions can have this type; only
+    /// signals carry it).
+    Bundle(Vec<(String, STy)>),
+}
+
+impl STy {
+    /// The width of a ground type; booleans report width 1.
+    pub fn width(&self) -> Option<PExpr> {
+        match self {
+            STy::Ground { width, .. } => Some(width.clone()),
+            STy::Bool => Some(PExpr::Const(1)),
+            _ => None,
+        }
+    }
+
+    /// Whether the type is signed.
+    pub fn is_signed(&self) -> bool {
+        matches!(self, STy::Ground { signed: true, .. })
+    }
+
+    /// Converts a declared Chisel type.
+    pub fn from_chisel(ty: &ChiselType) -> STy {
+        match ty {
+            ChiselType::UInt(w) => STy::Ground { width: w.clone(), signed: false },
+            ChiselType::SInt(w) => STy::Ground { width: w.clone(), signed: true },
+            ChiselType::Bool => STy::Bool,
+            ChiselType::Vec(elem, len) => {
+                STy::Vec { elem: Box::new(STy::from_chisel(elem)), len: len.clone() }
+            }
+            ChiselType::Bundle(fields) => STy::Bundle(
+                fields.iter().map(|(n, t)| (n.clone(), STy::from_chisel(t))).collect(),
+            ),
+        }
+    }
+}
+
+/// Typing errors: unsupported constructs or unresolvable references.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError(pub String);
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A typing context: declared signals (plus locals) and functions.
+pub struct TypeCtx<'m> {
+    module: &'m Module,
+    /// Extra bindings (function arguments and locals during function
+    /// typing).
+    pub locals: BTreeMap<String, STy>,
+}
+
+impl<'m> TypeCtx<'m> {
+    /// Context for a module body.
+    pub fn new(module: &'m Module) -> TypeCtx<'m> {
+        TypeCtx { module, locals: BTreeMap::new() }
+    }
+
+    /// Context for a function body: arguments and locals bound.
+    pub fn for_func(module: &'m Module, func: &FuncDef) -> TypeCtx<'m> {
+        let mut locals = BTreeMap::new();
+        for (n, t) in &func.args {
+            locals.insert(n.clone(), STy::from_chisel(t));
+        }
+        for d in &func.locals {
+            locals.insert(d.name.clone(), STy::from_chisel(&d.ty));
+        }
+        TypeCtx { module, locals }
+    }
+
+    /// Looks up a module-local function definition.
+    pub fn module_func(&self, name: &str) -> Option<&'m FuncDef> {
+        self.module.func(name)
+    }
+
+    fn signal_ty(&self, base: &str) -> Result<STy, TypeError> {
+        if let Some(t) = self.locals.get(base) {
+            return Ok(t.clone());
+        }
+        self.module
+            .decl(base)
+            .map(|d| STy::from_chisel(&d.ty))
+            .ok_or_else(|| TypeError(format!("unknown signal `{base}`")))
+    }
+
+    /// Type of a (possibly partial) signal reference.
+    pub fn ref_ty(&self, r: &SignalRef) -> Result<STy, TypeError> {
+        let mut ty = self.signal_ty(&r.base)?;
+        for acc in &r.path {
+            ty = match (acc, ty) {
+                (Accessor::Field(f), STy::Bundle(fields)) => fields
+                    .into_iter()
+                    .find(|(n, _)| n == f)
+                    .map(|(_, t)| t)
+                    .ok_or_else(|| TypeError(format!("no field `{f}` on `{}`", r.base)))?,
+                (Accessor::Index(_), STy::Vec { elem, .. }) => *elem,
+                _ => return Err(TypeError(format!("bad accessor on `{}`", r.base))),
+            };
+        }
+        Ok(ty)
+    }
+
+    /// Type of an expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError`] for references that do not resolve, aggregate
+    /// values in scalar positions, or unsupported operand shapes.
+    pub fn expr_ty(&self, e: &Expr) -> Result<STy, TypeError> {
+        let ground = |ty: &STy| -> Result<(PExpr, bool), TypeError> {
+            match ty {
+                STy::Ground { width, signed } => Ok((width.clone(), *signed)),
+                STy::Bool => Ok((PExpr::Const(1), false)),
+                _ => Err(TypeError("aggregate in scalar position".into())),
+            }
+        };
+        Ok(match e {
+            Expr::LitU { value, width } => {
+                let w = match width {
+                    Some(w) => w.clone(),
+                    None => match value {
+                        PExpr::Const(c) => {
+                            PExpr::Const((64 - (*c).max(0).leading_zeros() as i64).max(1))
+                        }
+                        // Width-free parameter-dependent literals occur as
+                        // vector indices and loop bounds, where only the
+                        // value matters; `v + 1` bits always fits `v >= 0`.
+                        v => (v.clone() + 1).simplify(),
+                    },
+                };
+                STy::Ground { width: w, signed: false }
+            }
+            Expr::LitS { value: _, width } => {
+                let w = width.clone().ok_or_else(|| {
+                    TypeError("signed literals need an explicit width".into())
+                })?;
+                STy::Ground { width: w, signed: true }
+            }
+            Expr::LitB(_) => STy::Bool,
+            Expr::Ref(r) => self.ref_ty(r)?,
+            Expr::Unop(op, a) => {
+                let at = self.expr_ty(a)?;
+                match op {
+                    UnaryOp::Not | UnaryOp::Neg => at,
+                    UnaryOp::LogicNot
+                    | UnaryOp::OrR
+                    | UnaryOp::AndR
+                    | UnaryOp::XorR
+                    | UnaryOp::AsBool => STy::Bool,
+                    UnaryOp::AsUInt => {
+                        let (w, _) = ground(&at)?;
+                        STy::Ground { width: w, signed: false }
+                    }
+                    UnaryOp::AsSInt => {
+                        let (w, _) = ground(&at)?;
+                        STy::Ground { width: w, signed: true }
+                    }
+                }
+            }
+            Expr::Binop(op, a, b) => {
+                let at = self.expr_ty(a)?;
+                let bt = self.expr_ty(b)?;
+                if op.is_predicate() {
+                    return Ok(STy::Bool);
+                }
+                let (wa, sa) = ground(&at)?;
+                let (wb, sb) = ground(&bt)?;
+                let signed = sa && sb;
+                let wmax = PExpr::Max(Box::new(wa.clone()), Box::new(wb.clone())).simplify();
+                match op {
+                    BinaryOp::Add | BinaryOp::Sub | BinaryOp::And | BinaryOp::Or
+                    | BinaryOp::Xor => STy::Ground { width: wmax, signed },
+                    BinaryOp::Mul => {
+                        STy::Ground { width: (wa + wb).simplify(), signed }
+                    }
+                    BinaryOp::Div => STy::Ground { width: wa, signed },
+                    BinaryOp::Rem => STy::Ground {
+                        width: PExpr::Min(Box::new(wa), Box::new(wb)).simplify(),
+                        signed,
+                    },
+                    BinaryOp::Cat => {
+                        STy::Ground { width: (wa + wb).simplify(), signed: false }
+                    }
+                    BinaryOp::Shl | BinaryOp::Shr => STy::Ground { width: wa, signed: sa },
+                    _ => unreachable!("predicates handled above"),
+                }
+            }
+            Expr::Mux(_, t, f) => {
+                let tt = self.expr_ty(t)?;
+                let ft = self.expr_ty(f)?;
+                if tt == STy::Bool && ft == STy::Bool {
+                    return Ok(STy::Bool);
+                }
+                let (wt, st) = ground(&tt)?;
+                let (wf, sf) = ground(&ft)?;
+                STy::Ground {
+                    width: PExpr::Max(Box::new(wt), Box::new(wf)).simplify(),
+                    signed: st && sf,
+                }
+            }
+            Expr::Extract { hi, lo, .. } => {
+                if hi == lo {
+                    STy::Bool
+                } else {
+                    STy::Ground {
+                        width: (hi.clone() - lo.clone() + 1).simplify(),
+                        signed: false,
+                    }
+                }
+            }
+            Expr::BitAt { .. } => STy::Bool,
+            Expr::ShlP { arg, amount } => {
+                let (w, s) = ground(&self.expr_ty(arg)?)?;
+                STy::Ground { width: (w + amount.clone()).simplify(), signed: s }
+            }
+            Expr::ShrP { arg, amount } => {
+                let (w, s) = ground(&self.expr_ty(arg)?)?;
+                if s {
+                    STy::Ground { width: w, signed: true }
+                } else {
+                    STy::Ground {
+                        width: PExpr::Max(
+                            Box::new((w - amount.clone()).simplify()),
+                            Box::new(PExpr::Const(1)),
+                        )
+                        .simplify(),
+                        signed: false,
+                    }
+                }
+            }
+            Expr::Fill { times, arg } => {
+                let (w, _) = ground(&self.expr_ty(arg)?)?;
+                STy::Ground { width: (times.clone() * w).simplify(), signed: false }
+            }
+            Expr::Call { func, args } => {
+                let f = self
+                    .module
+                    .func(func)
+                    .ok_or_else(|| TypeError(format!("unknown function `{func}`")))?;
+                if f.args.len() != args.len() {
+                    return Err(TypeError(format!(
+                        "function `{func}` expects {} args, got {}",
+                        f.args.len(),
+                        args.len()
+                    )));
+                }
+                STy::from_chisel(&f.ret)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chicala_chisel::examples::rotate_example;
+
+    #[test]
+    fn rotate_example_types() {
+        let m = rotate_example();
+        let ctx = TypeCtx::new(&m);
+        let len = PExpr::param("len");
+        assert_eq!(
+            ctx.expr_ty(&Expr::sig("R")).unwrap(),
+            STy::Ground { width: len.clone(), signed: false }
+        );
+        // Cat(R(0), R(len-1, 1)) : UInt(1 + (len-1)) — widths are symbolic.
+        let rot = Expr::sig("R").bit(0).cat(Expr::sig("R").bits(len.clone() - 1, 1));
+        let ty = ctx.expr_ty(&rot).unwrap();
+        match ty {
+            STy::Ground { width, signed: false } => {
+                assert_eq!(width.eval_with(&[("len", 8)]).unwrap(), 8);
+            }
+            other => panic!("unexpected type {other:?}"),
+        }
+        assert_eq!(ctx.expr_ty(&Expr::sig("state")).unwrap(), STy::Bool);
+    }
+
+    #[test]
+    fn literal_widths() {
+        let m = rotate_example();
+        let ctx = TypeCtx::new(&m);
+        assert_eq!(
+            ctx.expr_ty(&Expr::lit(5)).unwrap(),
+            STy::Ground { width: PExpr::Const(3), signed: false }
+        );
+        assert_eq!(
+            ctx.expr_ty(&Expr::lit(0)).unwrap(),
+            STy::Ground { width: PExpr::Const(1), signed: false }
+        );
+        // Width-free parameter literals (vector indices, loop bounds) get
+        // a value-dependent nominal width.
+        assert_eq!(
+            ctx.expr_ty(&Expr::LitU { value: PExpr::param("len"), width: None }).unwrap(),
+            STy::Ground { width: PExpr::param("len") + 1, signed: false }
+        );
+    }
+
+    #[test]
+    fn mul_widths_add() {
+        let m = rotate_example();
+        let ctx = TypeCtx::new(&m);
+        let e = Expr::Binop(
+            BinaryOp::Mul,
+            Box::new(Expr::sig("R")),
+            Box::new(Expr::sig("R")),
+        );
+        match ctx.expr_ty(&e).unwrap() {
+            STy::Ground { width, .. } => {
+                assert_eq!(width.eval_with(&[("len", 8)]).unwrap(), 16);
+            }
+            other => panic!("unexpected type {other:?}"),
+        }
+    }
+}

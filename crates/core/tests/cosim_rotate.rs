@@ -1,0 +1,107 @@
+//! Co-simulation: the generated sequential program must agree, cycle by
+//! cycle, with the Chisel IR's reference interpreter (the paper's
+//! future-work validation, experiment E3).
+
+use chicala_bigint::BigInt;
+use chicala_chisel::{elaborate, examples::rotate_example, Simulator};
+use chicala_core::{transform_with, TransformOptions};
+use chicala_seq::{SValue, SeqRunner};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn svalue_to_int(v: &SValue) -> BigInt {
+    match v {
+        SValue::Int(i) => i.clone(),
+        SValue::Bool(b) => BigInt::from(*b),
+        SValue::List(_) => panic!("scalar expected"),
+    }
+}
+
+/// Runs both semantics for `cycles` cycles and compares outputs and
+/// registers after every cycle. Returns Err(description) on mismatch.
+fn cosim_rotate(len: i64, input: u64, cycles: usize, opts: TransformOptions) -> Result<(), String> {
+    let m = rotate_example();
+    // Hardware reference.
+    let bindings: chicala_chisel::Bindings = [("len".to_string(), len)].into_iter().collect();
+    let em = elaborate(&m, &bindings).map_err(|e| e.to_string())?;
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).map_err(|e| e.to_string())?;
+    let hw_inputs: BTreeMap<String, BigInt> =
+        [("io_in".to_string(), BigInt::from(input))].into_iter().collect();
+
+    // Generated software simulator.
+    let out = transform_with(&m, opts).map_err(|e| e.to_string())?;
+    let runner = SeqRunner::new(
+        &out.program,
+        [("len".to_string(), BigInt::from(len))].into_iter().collect(),
+    );
+    let sw_inputs: BTreeMap<String, SValue> =
+        [("io_in".to_string(), SValue::Int(BigInt::from(input & ((1u64 << len) - 1))))]
+            .into_iter()
+            .collect();
+    let mut sw_regs = runner.init_regs(&BTreeMap::new()).map_err(|e| e.to_string())?;
+
+    for cycle in 0..cycles {
+        let hw_out = sim.step(&hw_inputs).map_err(|e| e.to_string())?;
+        let sw = runner.trans(&sw_inputs, &sw_regs).map_err(|e| e.to_string())?;
+        for (name, hv) in &hw_out {
+            let sv = svalue_to_int(&sw.outputs[name]);
+            if *hv != sv {
+                return Err(format!(
+                    "cycle {cycle}: output {name}: hw={hv} sw={sv} (len={len}, in={input})"
+                ));
+            }
+        }
+        for (name, sv) in &sw.regs {
+            let hv = sim.reg(name).expect("register exists");
+            let sv = svalue_to_int(sv);
+            if *hv != sv {
+                return Err(format!(
+                    "cycle {cycle}: reg {name}: hw={hv} sw={sv} (len={len}, in={input})"
+                ));
+            }
+        }
+        sw_regs = sw.regs;
+    }
+    Ok(())
+}
+
+#[test]
+fn rotate_agrees_at_small_widths() {
+    for len in 2..=10i64 {
+        let input = 0b1011_0110_1101u64 & ((1 << len) - 1);
+        cosim_rotate(len, input, 2 * len as usize + 3, TransformOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn rotate_disagrees_without_reordering() {
+    // Without reordering, the if tests io_ready *before* it is assigned
+    // from state, so the generated program reads the stale default (false)
+    // and never latches the input: the two semantics must diverge.
+    let opts = TransformOptions { reorder: false, ..Default::default() };
+    let any_mismatch = (2..=6i64).any(|len| cosim_rotate(len, 0b101, 8, opts).is_err());
+    assert!(any_mismatch, "reordering ablation should break co-simulation");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rotate_cosim_random(len in 2i64..32, input in any::<u64>(), cycles in 1usize..80) {
+        let masked = input & ((1u64 << len) - 1);
+        if let Err(e) = cosim_rotate(len, masked, cycles, TransformOptions::default()) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    #[test]
+    fn rotate_cosim_merge_ablation(len in 2i64..16, input in any::<u64>()) {
+        // Disabling merging must NOT change semantics (only code shape).
+        let masked = input & ((1u64 << len) - 1);
+        let opts = TransformOptions { merge: false, ..Default::default() };
+        if let Err(e) = cosim_rotate(len, masked, 2 * len as usize + 2, opts) {
+            prop_assert!(false, "{e}");
+        }
+    }
+}

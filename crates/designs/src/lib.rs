@@ -1,0 +1,11 @@
+//! The verified case-study designs: the paper's running example plus the
+//! four RISC-V arithmetic units (RocketChip and XiangShan dividers and
+//! multipliers), each with its Chisel-subset module, specification,
+//! invariants, and proof scripts.
+
+pub mod popcount;
+pub mod rdiv;
+pub mod xdiv;
+pub mod xmul;
+pub mod rmul;
+pub mod rotate;

@@ -1,0 +1,16 @@
+//! The carry-save compressor lemma in isolation (the X-multiplier's core
+//! nonlinear ingredient).
+
+use chicala_designs::xmul::csa_lemma;
+use chicala_verify::Env;
+
+#[test]
+#[ignore = "open item: the csa3 induction's leaf assembly is not yet closed by the kernel (csa3 is admitted as a randomised-validated trusted lemma; see DESIGN.md)"]
+fn csa3_proves() {
+    let mut env = Env::new();
+    chicala_bvlib::install_bitvec(&mut env).unwrap_or_else(|(n, e)| panic!("{n}: {e}"));
+    let (lemma, proof) = csa_lemma();
+    let start = std::time::Instant::now();
+    env.prove_lemma(lemma, &proof).unwrap_or_else(|e| panic!("{e}"));
+    eprintln!("csa3 proved in {:.2?}", start.elapsed());
+}

@@ -1,0 +1,35 @@
+//! Regression tests distilled from the carry-save compressor development:
+//! the parity-propagation pattern that required Gaussian equality
+//! substitution in the linear core.
+
+use chicala_verify::{Env, Formula, Term};
+
+fn v(n: &str) -> Term { Term::var(n) }
+fn t(x: i64) -> Term { Term::int(x) }
+fn band(a: Term, b: Term) -> Term { Term::BitAnd(Box::new(a), Box::new(b)) }
+fn bor(a: Term, b: Term) -> Term { Term::BitOr(Box::new(a), Box::new(b)) }
+fn bxor(a: Term, b: Term) -> Term { Term::BitXor(Box::new(a), Box::new(b)) }
+
+#[test]
+fn or_parity_micro() {
+    let mut env = Env::new();
+    chicala_bvlib::install_bitvec(&mut env).map_err(|(n,e)| format!("{n}: {e}")).unwrap();
+    // Abstract: u, w with u%2==0, w%2==0, or-rec fact, prove (u|w)%2 == 0.
+    let u = || v("u");
+    let w = || v("w");
+    let rec_or = bor(u(), w()).eq(
+        t(2).mul(bor(u().div(t(2)), w().div(t(2))))
+            .add(u().imod(t(2)).add(w().imod(t(2)))
+                .sub(u().imod(t(2)).mul(w().imod(t(2))))));
+    let hyps = vec![
+        t(0).le(u()), t(0).le(w()),
+        u().imod(t(2)).eq(t(0)),
+        w().imod(t(2)).eq(t(0)),
+        rec_or,
+        t(0).le(bor(u(), w())),
+    ];
+    let goal = bor(u(), w()).imod(t(2)).eq(t(0));
+    let r = env.prove(&hyps, &goal, &chicala_verify::Proof::Auto);
+    eprintln!("or parity micro: ok={}", r.is_ok());
+    if let Err(e) = r { panic!("{e}"); }
+}

@@ -1,0 +1,258 @@
+//! A reduced ordered binary decision diagram (ROBDD) package — the
+//! classic engine of low-level per-bit-width verification (Bryant-style),
+//! used as the baseline the paper's high-level approach is compared
+//! against: its cost grows steeply with bit width, while one parametric
+//! proof covers all widths.
+
+use std::collections::HashMap;
+
+/// A BDD node reference (complement edges are not used; constants are the
+/// two distinguished nodes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+/// The false terminal.
+pub const FALSE: Ref = Ref(0);
+/// The true terminal.
+pub const TRUE: Ref = Ref(1);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// A BDD manager with a fixed variable order (variable index = level).
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+}
+
+impl Bdd {
+    /// An empty manager.
+    pub fn new() -> Bdd {
+        let mut b = Bdd { nodes: Vec::new(), unique: HashMap::new(), ite_cache: HashMap::new() };
+        // Slots 0 and 1 are the terminals; their stored fields are unused.
+        b.nodes.push(Node { var: u32::MAX, lo: FALSE, hi: FALSE });
+        b.nodes.push(Node { var: u32::MAX, lo: TRUE, hi: TRUE });
+        b
+    }
+
+    /// Number of live nodes (size measure for the blow-up experiment).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The projection function of variable `var`.
+    pub fn var(&mut self, var: u32) -> Ref {
+        self.mk(var, FALSE, TRUE)
+    }
+
+    /// A constant.
+    pub fn constant(&self, v: bool) -> Ref {
+        if v {
+            TRUE
+        } else {
+            FALSE
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    fn level(&self, r: Ref) -> u32 {
+        if r == TRUE || r == FALSE {
+            u32::MAX
+        } else {
+            self.nodes[r.0 as usize].var
+        }
+    }
+
+    fn cofactors(&self, r: Ref, var: u32) -> (Ref, Ref) {
+        if r == TRUE || r == FALSE {
+            return (r, r);
+        }
+        let n = self.nodes[r.0 as usize];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    /// If-then-else, the universal connective.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let var = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors(f, var);
+        let (g0, g1) = self.cofactors(g, var);
+        let (h0, h1) = self.cofactors(h, var);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(var, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: Ref, b: Ref) -> Ref {
+        self.ite(a, b, FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: Ref, b: Ref) -> Ref {
+        self.ite(a, TRUE, b)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Ref, b: Ref) -> Ref {
+        let nb = self.not(b);
+        self.ite(a, nb, b)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, a: Ref) -> Ref {
+        self.ite(a, FALSE, TRUE)
+    }
+
+    /// Biconditional.
+    pub fn iff(&mut self, a: Ref, b: Ref) -> Ref {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// Whether the function is the constant true (tautology check — the
+    /// equivalence-checking primitive).
+    pub fn is_true(&self, r: Ref) -> bool {
+        r == TRUE
+    }
+
+    /// Evaluates under a variable assignment.
+    pub fn eval(&self, mut r: Ref, assignment: &dyn Fn(u32) -> bool) -> bool {
+        loop {
+            if r == TRUE {
+                return true;
+            }
+            if r == FALSE {
+                return false;
+            }
+            let n = self.nodes[r.0 as usize];
+            r = if assignment(n.var) { n.hi } else { n.lo };
+        }
+    }
+
+    /// One satisfying assignment, if any (partial: variables not on the
+    /// path may take either value).
+    pub fn any_sat(&self, r: Ref) -> Option<Vec<(u32, bool)>> {
+        if r == FALSE {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut cur = r;
+        while cur != TRUE {
+            let n = self.nodes[cur.0 as usize];
+            if n.lo != FALSE {
+                out.push((n.var, false));
+                cur = n.lo;
+            } else {
+                out.push((n.var, true));
+                cur = n.hi;
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        assert_ne!(x, TRUE);
+        assert_ne!(x, FALSE);
+        let nx = b.not(x);
+        let back = b.not(nx);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        // x & y == !(!x | !y)
+        let lhs = b.and(x, y);
+        let nx = b.not(x);
+        let ny = b.not(y);
+        let or = b.or(nx, ny);
+        let rhs = b.not(or);
+        assert_eq!(lhs, rhs);
+        // x ^ x == false
+        assert_eq!(b.xor(x, x), FALSE);
+        // (x <-> y) & x -> y (tautology)
+        let iff = b.iff(x, y);
+        let ax = b.and(iff, x);
+        let imp_body = b.not(ax);
+        let taut = b.or(imp_body, y);
+        assert!(b.is_true(taut));
+    }
+
+    #[test]
+    fn canonical_equality_of_equivalent_functions() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let z = b.var(2);
+        // (x & y) | (x & z) == x & (y | z)
+        let xy = b.and(x, y);
+        let xz = b.and(x, z);
+        let lhs = b.or(xy, xz);
+        let yz = b.or(y, z);
+        let rhs = b.and(x, yz);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn sat_and_eval() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        let sat = b.any_sat(f).expect("satisfiable");
+        assert!(sat.contains(&(0, true)) && sat.contains(&(1, true)));
+        assert!(b.eval(f, &|_| true));
+        assert!(!b.eval(f, &|v| v == 0));
+        assert!(b.any_sat(FALSE).is_none());
+    }
+}

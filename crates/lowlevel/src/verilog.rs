@@ -1,0 +1,250 @@
+//! Word-level Verilog emission from elaborated modules — the role FIRRTL's
+//! Verilog emitter plays for Chisel, and the source of the `#Verilog`
+//! column in the paper's Table 1 (line counts at a concrete bit width).
+
+use chicala_chisel::{BinaryOp, ElabKind, ElabModule, Expr, PExpr, SignalRef, UnaryOp};
+use std::fmt::Write;
+
+fn pexpr(m: &ElabModule, p: &PExpr) -> i64 {
+    p.eval(&m.bindings).expect("elaborated expressions have concrete parameters")
+}
+
+fn vexpr(m: &ElabModule, e: &Expr, out: &mut String) {
+    match e {
+        Expr::LitU { value, width } => {
+            let v = pexpr(m, value);
+            match width {
+                Some(w) => {
+                    let _ = write!(out, "{}'d{}", pexpr(m, w), v);
+                }
+                None => {
+                    let _ = write!(out, "{v}");
+                }
+            }
+        }
+        Expr::LitS { value, width } => {
+            let v = pexpr(m, value);
+            let w = width.as_ref().map(|w| pexpr(m, w)).unwrap_or(64);
+            if v < 0 {
+                let _ = write!(out, "-{}'sd{}", w, -v);
+            } else {
+                let _ = write!(out, "{w}'sd{v}");
+            }
+        }
+        Expr::LitB(b) => {
+            let _ = write!(out, "1'b{}", if *b { 1 } else { 0 });
+        }
+        Expr::Ref(SignalRef { base, .. }) => {
+            let _ = write!(out, "{}", base.replace('$', "_"));
+        }
+        Expr::Unop(op, a) => {
+            let sym = match op {
+                UnaryOp::Not => "~",
+                UnaryOp::LogicNot => "!",
+                UnaryOp::Neg => "-",
+                UnaryOp::OrR => "|",
+                UnaryOp::AndR => "&",
+                UnaryOp::XorR => "^",
+                UnaryOp::AsUInt | UnaryOp::AsSInt | UnaryOp::AsBool => "",
+            };
+            let _ = write!(out, "{sym}(");
+            vexpr(m, a, out);
+            let _ = write!(out, ")");
+        }
+        Expr::Binop(op, a, b) => {
+            if *op == BinaryOp::Cat {
+                let _ = write!(out, "{{");
+                vexpr(m, a, out);
+                let _ = write!(out, ", ");
+                vexpr(m, b, out);
+                let _ = write!(out, "}}");
+                return;
+            }
+            let sym = match op {
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::Div => "/",
+                BinaryOp::Rem => "%",
+                BinaryOp::And => "&",
+                BinaryOp::Or => "|",
+                BinaryOp::Xor => "^",
+                BinaryOp::LogicAnd => "&&",
+                BinaryOp::LogicOr => "||",
+                BinaryOp::Eq => "==",
+                BinaryOp::Neq => "!=",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+                BinaryOp::Shl => "<<",
+                BinaryOp::Shr => ">>",
+                BinaryOp::Cat => unreachable!("handled above"),
+            };
+            let _ = write!(out, "(");
+            vexpr(m, a, out);
+            let _ = write!(out, " {sym} ");
+            vexpr(m, b, out);
+            let _ = write!(out, ")");
+        }
+        Expr::Mux(c, t, f) => {
+            let _ = write!(out, "(");
+            vexpr(m, c, out);
+            let _ = write!(out, " ? ");
+            vexpr(m, t, out);
+            let _ = write!(out, " : ");
+            vexpr(m, f, out);
+            let _ = write!(out, ")");
+        }
+        Expr::Extract { arg, hi, lo } => {
+            vexpr(m, arg, out);
+            let (hi, lo) = (pexpr(m, hi), pexpr(m, lo));
+            if hi == lo {
+                let _ = write!(out, "[{hi}]");
+            } else {
+                let _ = write!(out, "[{hi}:{lo}]");
+            }
+        }
+        Expr::BitAt { arg, index } => {
+            vexpr(m, arg, out);
+            let _ = write!(out, "[");
+            vexpr(m, index, out);
+            let _ = write!(out, "]");
+        }
+        Expr::ShlP { arg, amount } => {
+            let _ = write!(out, "(");
+            vexpr(m, arg, out);
+            let _ = write!(out, " << {})", pexpr(m, amount));
+        }
+        Expr::ShrP { arg, amount } => {
+            let _ = write!(out, "(");
+            vexpr(m, arg, out);
+            let _ = write!(out, " >> {})", pexpr(m, amount));
+        }
+        Expr::Fill { times, arg } => {
+            let _ = write!(out, "{{{}{{", pexpr(m, times));
+            vexpr(m, arg, out);
+            let _ = write!(out, "}}}}");
+        }
+        Expr::Call { func, .. } => {
+            let _ = write!(out, "/* unelaborated call {func} */ 0");
+        }
+    }
+}
+
+/// Emits word-level Verilog for an elaborated module.
+///
+/// # Examples
+///
+/// ```
+/// use chicala_chisel::{examples, elaborate};
+/// let m = examples::rotate_example();
+/// let em = elaborate(&m, &[("len".to_string(), 64i64)].into_iter().collect())?;
+/// let text = chicala_lowlevel::emit_verilog(&em);
+/// assert!(text.contains("module Example("));
+/// assert!(text.contains("always @(posedge clock)"));
+/// # Ok::<(), chicala_chisel::ElabError>(())
+/// ```
+pub fn emit_verilog(m: &ElabModule) -> String {
+    let mut out = String::new();
+    let mut ports: Vec<String> = vec!["clock".into(), "reset".into()];
+    ports.extend(m.input_names().iter().map(|n| n.replace('$', "_")));
+    ports.extend(m.output_names().iter().map(|n| n.replace('$', "_")));
+    let _ = writeln!(out, "module {}(", m.name);
+    for (i, p) in ports.iter().enumerate() {
+        let comma = if i + 1 == ports.len() { "" } else { "," };
+        let _ = writeln!(out, "  {p}{comma}");
+    }
+    let _ = writeln!(out, ");");
+    let _ = writeln!(out, "  input clock;");
+    let _ = writeln!(out, "  input reset;");
+    for s in &m.signals {
+        let name = s.name.replace('$', "_");
+        let range = if s.width > 1 {
+            format!("[{}:0] ", s.width - 1)
+        } else {
+            String::new()
+        };
+        match &s.kind {
+            ElabKind::Input => {
+                let _ = writeln!(out, "  input {range}{name};");
+            }
+            ElabKind::Output => {
+                let _ = writeln!(out, "  output {range}{name};");
+            }
+            ElabKind::Reg { .. } => {
+                let _ = writeln!(out, "  reg {range}{name};");
+            }
+            ElabKind::Wire => {
+                let _ = writeln!(out, "  wire {range}{name};");
+            }
+        }
+    }
+    // Combinational assignments.
+    for s in &m.signals {
+        if matches!(s.kind, ElabKind::Output | ElabKind::Wire) {
+            if let Some(d) = m.drivers.get(&s.name) {
+                let mut rhs = String::new();
+                vexpr(m, d, &mut rhs);
+                let _ = writeln!(out, "  assign {} = {};", s.name.replace('$', "_"), rhs);
+            }
+        }
+    }
+    // Sequential block.
+    let regs: Vec<_> = m
+        .signals
+        .iter()
+        .filter(|s| matches!(s.kind, ElabKind::Reg { .. }))
+        .collect();
+    if !regs.is_empty() {
+        let _ = writeln!(out, "  always @(posedge clock) begin");
+        for s in &regs {
+            let name = s.name.replace('$', "_");
+            if let ElabKind::Reg { init: Some(init) } = &s.kind {
+                let mut iv = String::new();
+                vexpr(m, init, &mut iv);
+                let _ = writeln!(out, "    if (reset) begin");
+                let _ = writeln!(out, "      {name} <= {iv};");
+                let _ = writeln!(out, "    end else begin");
+                if let Some(d) = m.drivers.get(&s.name) {
+                    let mut rhs = String::new();
+                    vexpr(m, d, &mut rhs);
+                    let _ = writeln!(out, "      {name} <= {rhs};");
+                }
+                let _ = writeln!(out, "    end");
+            } else if let Some(d) = m.drivers.get(&s.name) {
+                let mut rhs = String::new();
+                vexpr(m, d, &mut rhs);
+                let _ = writeln!(out, "    {name} <= {rhs};");
+            }
+        }
+        let _ = writeln!(out, "  end");
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Non-blank line count of the emitted Verilog (Table 1's `#Verilog`).
+pub fn verilog_loc(m: &ElabModule) -> usize {
+    emit_verilog(m).lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chicala_chisel::{elaborate, examples};
+
+    #[test]
+    fn rotate_emits_plausible_verilog() {
+        let m = examples::rotate_example();
+        let em = elaborate(&m, &[("len".to_string(), 8i64)].into_iter().collect())
+            .expect("elaborates");
+        let text = emit_verilog(&em);
+        assert!(text.contains("module Example("), "{text}");
+        assert!(text.contains("input [7:0] io_in;"), "{text}");
+        assert!(text.contains("output io_ready;"), "{text}");
+        assert!(text.contains("reg [7:0] R;"), "{text}");
+        assert!(text.contains("always @(posedge clock)"), "{text}");
+        assert!(verilog_loc(&em) > 15);
+    }
+}

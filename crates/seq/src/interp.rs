@@ -1,0 +1,474 @@
+//! Execution of sequential programs: the concrete semantics used to
+//! co-simulate generated programs against the Chisel cycle interpreter.
+//!
+//! Runtime checking is deliberately strict: `require`s and loop invariants
+//! are evaluated during execution, so every concrete run doubles as a test
+//! of the specifications the verifier consumes.
+
+use crate::expr::{SBinop, SCmp, SExpr, SValue, SeqError};
+use crate::program::{next_name, SFunc, SStmt, SeqProgram};
+use chicala_bigint::BigInt;
+use std::collections::BTreeMap;
+
+/// A variable environment.
+pub type Env = BTreeMap<String, SValue>;
+
+/// Evaluates an expression under `env`, with `funcs` for calls.
+///
+/// # Errors
+///
+/// Returns [`SeqError`] for unbound names, type mismatches, negative
+/// operands to `Pow2`/bitwise operators, out-of-range indices, and failing
+/// `require`s in called functions.
+pub fn eval_expr(
+    e: &SExpr,
+    env: &Env,
+    funcs: &BTreeMap<String, &SFunc>,
+) -> Result<SValue, SeqError> {
+    Ok(match e {
+        SExpr::Const(v) => SValue::Int(v.clone()),
+        SExpr::BoolConst(b) => SValue::Bool(*b),
+        SExpr::Var(n) => env.get(n).cloned().ok_or_else(|| SeqError::Unbound(n.clone()))?,
+        SExpr::Binop(op, a, b) => {
+            let a = eval_expr(a, env, funcs)?;
+            let b = eval_expr(b, env, funcs)?;
+            let (a, b) = (a.int()?, b.int()?);
+            let v = match op {
+                SBinop::Add => a + b,
+                SBinop::Sub => a - b,
+                SBinop::Mul => a * b,
+                SBinop::Div => {
+                    if b.is_zero() {
+                        return Err(SeqError::DivByZero);
+                    }
+                    a.div_floor(b)
+                }
+                SBinop::Mod => {
+                    if b.is_zero() {
+                        return Err(SeqError::DivByZero);
+                    }
+                    a.mod_floor(b)
+                }
+                SBinop::BitAnd | SBinop::BitOr | SBinop::BitXor => {
+                    if a.is_negative() || b.is_negative() {
+                        return Err(SeqError::Negative("bitwise operator".into()));
+                    }
+                    match op {
+                        SBinop::BitAnd => a & b,
+                        SBinop::BitOr => a | b,
+                        _ => a ^ b,
+                    }
+                }
+            };
+            SValue::Int(v)
+        }
+        SExpr::Pow2(e) => {
+            let v = eval_expr(e, env, funcs)?;
+            let v = v.int()?;
+            if v.is_negative() {
+                return Err(SeqError::Negative("Pow2".into()));
+            }
+            let exp = u64::try_from(v).map_err(|_| SeqError::Type("Pow2 exponent too large".into()))?;
+            SValue::Int(BigInt::pow2(exp))
+        }
+        SExpr::Cmp(op, a, b) => {
+            let a = eval_expr(a, env, funcs)?;
+            let b = eval_expr(b, env, funcs)?;
+            let (a, b) = (a.int()?, b.int()?);
+            SValue::Bool(match op {
+                SCmp::Eq => a == b,
+                SCmp::Ne => a != b,
+                SCmp::Lt => a < b,
+                SCmp::Le => a <= b,
+                SCmp::Gt => a > b,
+                SCmp::Ge => a >= b,
+            })
+        }
+        SExpr::And(a, b) => {
+            SValue::Bool(eval_expr(a, env, funcs)?.bool()? && eval_expr(b, env, funcs)?.bool()?)
+        }
+        SExpr::Or(a, b) => {
+            SValue::Bool(eval_expr(a, env, funcs)?.bool()? || eval_expr(b, env, funcs)?.bool()?)
+        }
+        SExpr::Not(a) => SValue::Bool(!eval_expr(a, env, funcs)?.bool()?),
+        SExpr::Ite(c, t, f) => {
+            if eval_expr(c, env, funcs)?.bool()? {
+                eval_expr(t, env, funcs)?
+            } else {
+                eval_expr(f, env, funcs)?
+            }
+        }
+        SExpr::ListLit(es) => SValue::List(
+            es.iter().map(|e| eval_expr(e, env, funcs)).collect::<Result<Vec<_>, _>>()?,
+        ),
+        SExpr::ListGet(l, i) => {
+            let l = eval_expr(l, env, funcs)?;
+            let l = l.list()?;
+            let i = idx(&eval_expr(i, env, funcs)?, l.len())?;
+            l[i].clone()
+        }
+        SExpr::ListSet(l, i, v) => {
+            let lv = eval_expr(l, env, funcs)?;
+            let mut l = lv.list()?.to_vec();
+            let i = idx(&eval_expr(i, env, funcs)?, l.len())?;
+            l[i] = eval_expr(v, env, funcs)?;
+            SValue::List(l)
+        }
+        SExpr::ListLen(l) => {
+            let l = eval_expr(l, env, funcs)?;
+            SValue::Int(BigInt::from(l.list()?.len() as u64))
+        }
+        SExpr::ListFill(n, v) => {
+            let n = eval_expr(n, env, funcs)?;
+            let n = u64::try_from(n.int()?)
+                .map_err(|_| SeqError::Type("List.fill length".into()))?;
+            let v = eval_expr(v, env, funcs)?;
+            SValue::List(vec![v; n as usize])
+        }
+        SExpr::ListAppend(l, v) => {
+            let lv = eval_expr(l, env, funcs)?;
+            let mut l = lv.list()?.to_vec();
+            l.push(eval_expr(v, env, funcs)?);
+            SValue::List(l)
+        }
+        SExpr::Sum(l) => {
+            let l = eval_expr(l, env, funcs)?;
+            let mut acc = BigInt::zero();
+            for v in l.list()? {
+                acc += v.int()?;
+            }
+            SValue::Int(acc)
+        }
+        SExpr::ToZ(l) => {
+            let l = eval_expr(l, env, funcs)?;
+            let mut acc = BigInt::zero();
+            for (i, v) in l.list()?.iter().enumerate() {
+                acc += &(v.int()? * BigInt::pow2(i as u64));
+            }
+            SValue::Int(acc)
+        }
+        SExpr::Call(name, args) => {
+            let f = funcs.get(name).ok_or_else(|| SeqError::UnknownFunc(name.clone()))?;
+            let mut fenv = Env::new();
+            if f.params.len() != args.len() {
+                return Err(SeqError::Type(format!(
+                    "function `{name}` expects {} arguments, got {}",
+                    f.params.len(),
+                    args.len()
+                )));
+            }
+            for (p, a) in f.params.iter().zip(args) {
+                fenv.insert(p.clone(), eval_expr(a, env, funcs)?);
+            }
+            for r in &f.requires {
+                if !eval_expr(r, &fenv, funcs)?.bool()? {
+                    return Err(SeqError::Type(format!("require failed in `{name}`: {r}")));
+                }
+            }
+            exec_stmts(&f.body, &mut fenv, funcs)?;
+            let res = eval_expr(&f.result, &fenv, funcs)?;
+            for post in &f.ensures {
+                fenv.insert("res".into(), res.clone());
+                if !eval_expr(post, &fenv, funcs)?.bool()? {
+                    return Err(SeqError::Type(format!("ensuring failed in `{name}`: {post}")));
+                }
+            }
+            res
+        }
+    })
+}
+
+fn idx(v: &SValue, len: usize) -> Result<usize, SeqError> {
+    let i = v.int()?;
+    let i64v = i128::try_from(i).map_err(|_| SeqError::IndexOutOfRange(i64::MAX, len))? as i64;
+    if i64v < 0 || i64v as usize >= len {
+        return Err(SeqError::IndexOutOfRange(i64v, len));
+    }
+    Ok(i64v as usize)
+}
+
+/// Executes statements, mutating `env`.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; additionally fails if a declared loop
+/// invariant does not hold at runtime.
+pub fn exec_stmts(
+    stmts: &[SStmt],
+    env: &mut Env,
+    funcs: &BTreeMap<String, &SFunc>,
+) -> Result<(), SeqError> {
+    for s in stmts {
+        match s {
+            SStmt::Let { name, init } | SStmt::Assign { name, rhs: init } => {
+                let v = eval_expr(init, env, funcs)?;
+                env.insert(name.clone(), v);
+            }
+            SStmt::If { cond, then_body, else_body } => {
+                if eval_expr(cond, env, funcs)?.bool()? {
+                    exec_stmts(then_body, env, funcs)?;
+                } else {
+                    exec_stmts(else_body, env, funcs)?;
+                }
+            }
+            SStmt::For { var, start, end, invariants, body } => {
+                let lo = eval_expr(start, env, funcs)?.int()?.clone();
+                let hi = eval_expr(end, env, funcs)?.int()?.clone();
+                let mut i = lo;
+                while i < hi {
+                    env.insert(var.clone(), SValue::Int(i.clone()));
+                    for inv in invariants {
+                        if !eval_expr(inv, env, funcs)?.bool()? {
+                            return Err(SeqError::Type(format!(
+                                "loop invariant failed at {var}={i}: {inv}"
+                            )));
+                        }
+                    }
+                    exec_stmts(body, env, funcs)?;
+                    i = i + BigInt::one();
+                }
+                // Invariant must also hold at exit (i == hi).
+                env.insert(var.clone(), SValue::Int(i));
+                for inv in invariants {
+                    if !eval_expr(inv, env, funcs)?.bool()? {
+                        return Err(SeqError::Type(format!("loop invariant failed at exit: {inv}")));
+                    }
+                }
+                env.remove(var);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Result of one `Trans` application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransResult {
+    /// Output variable values.
+    pub outputs: BTreeMap<String, SValue>,
+    /// Next register values.
+    pub regs: BTreeMap<String, SValue>,
+}
+
+/// Executes sequential programs with bound parameters.
+#[derive(Debug)]
+pub struct SeqRunner<'p> {
+    prog: &'p SeqProgram,
+    params: BTreeMap<String, BigInt>,
+}
+
+impl<'p> SeqRunner<'p> {
+    /// Binds `prog`'s parameters.
+    pub fn new(prog: &'p SeqProgram, params: BTreeMap<String, BigInt>) -> SeqRunner<'p> {
+        SeqRunner { prog, params }
+    }
+
+    fn funcs(&self) -> BTreeMap<String, &SFunc> {
+        self.prog.funcs.iter().map(|f| (f.name.clone(), f)).collect()
+    }
+
+    fn base_env(&self, inputs: &BTreeMap<String, SValue>, regs: &BTreeMap<String, SValue>) -> Env {
+        let mut env = Env::new();
+        for (k, v) in &self.params {
+            env.insert(k.clone(), SValue::Int(v.clone()));
+        }
+        for (k, v) in inputs {
+            env.insert(k.clone(), v.clone());
+        }
+        for (k, v) in regs {
+            env.insert(k.clone(), v.clone());
+        }
+        env
+    }
+
+    /// One application of `Trans`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SeqError`] from the body.
+    pub fn trans(
+        &self,
+        inputs: &BTreeMap<String, SValue>,
+        regs: &BTreeMap<String, SValue>,
+    ) -> Result<TransResult, SeqError> {
+        let funcs = self.funcs();
+        let mut env = self.base_env(inputs, regs);
+        exec_stmts(&self.prog.trans, &mut env, &funcs)?;
+        let mut outputs = BTreeMap::new();
+        for o in &self.prog.outputs {
+            let v = env
+                .get(&o.name)
+                .cloned()
+                .ok_or_else(|| SeqError::Unbound(o.name.clone()))?;
+            outputs.insert(o.name.clone(), v);
+        }
+        let mut next = BTreeMap::new();
+        for r in &self.prog.regs {
+            let v = env
+                .get(&next_name(&r.name))
+                .cloned()
+                .ok_or_else(|| SeqError::Unbound(next_name(&r.name)))?;
+            next.insert(r.name.clone(), v);
+        }
+        Ok(TransResult { outputs, regs: next })
+    }
+
+    /// Initial register values: declared inits where present, otherwise the
+    /// caller's `rd_init` (the paper's `rdInit`), otherwise zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from init expressions.
+    pub fn init_regs(
+        &self,
+        rd_init: &BTreeMap<String, SValue>,
+    ) -> Result<BTreeMap<String, SValue>, SeqError> {
+        let funcs = self.funcs();
+        let mut env = Env::new();
+        for (k, v) in &self.params {
+            env.insert(k.clone(), SValue::Int(v.clone()));
+        }
+        let mut regs = BTreeMap::new();
+        for r in &self.prog.regs {
+            let v = match &r.init {
+                Some(e) => eval_expr(e, &env, &funcs)?,
+                None => rd_init
+                    .get(&r.name)
+                    .cloned()
+                    .unwrap_or(SValue::Int(BigInt::zero())),
+            };
+            regs.insert(r.name.clone(), v);
+        }
+        Ok(regs)
+    }
+
+    /// The paper's `Init`: initialise registers, then `Run` until the
+    /// timeout condition holds on the new register state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::FuelExhausted`] if `fuel` cycles pass without the
+    /// timeout holding; propagates other evaluation errors.
+    pub fn init_and_run(
+        &self,
+        inputs: &BTreeMap<String, SValue>,
+        rd_init: &BTreeMap<String, SValue>,
+        fuel: usize,
+    ) -> Result<TransResult, SeqError> {
+        let mut regs = self.init_regs(rd_init)?;
+        let timeout = self
+            .prog
+            .timeout
+            .clone()
+            .unwrap_or(SExpr::BoolConst(true));
+        let funcs = self.funcs();
+        for _ in 0..fuel {
+            let r = self.trans(inputs, &regs)?;
+            let env = self.base_env(inputs, &r.regs);
+            if eval_expr(&timeout, &env, &funcs)?.bool()? {
+                return Ok(r);
+            }
+            regs = r.regs;
+        }
+        Err(SeqError::FuelExhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> SValue {
+        SValue::Int(BigInt::from(v))
+    }
+
+    #[test]
+    fn eval_arith_and_pow2() {
+        let env: Env = [("x".to_string(), int(10))].into_iter().collect();
+        let funcs = BTreeMap::new();
+        let e = SExpr::var("x").mul(SExpr::int(3)).imod(SExpr::pow2(SExpr::int(4)));
+        assert_eq!(eval_expr(&e, &env, &funcs).unwrap(), int(14));
+    }
+
+    #[test]
+    fn lists_and_sums() {
+        let funcs = BTreeMap::new();
+        let env = Env::new();
+        let l = SExpr::ListLit(vec![SExpr::int(1), SExpr::int(0), SExpr::int(1)]);
+        assert_eq!(eval_expr(&SExpr::Sum(Box::new(l.clone())), &env, &funcs).unwrap(), int(2));
+        assert_eq!(eval_expr(&SExpr::ToZ(Box::new(l.clone())), &env, &funcs).unwrap(), int(5));
+        let upd = SExpr::ListSet(Box::new(l), Box::new(SExpr::int(1)), Box::new(SExpr::int(1)));
+        assert_eq!(
+            eval_expr(&SExpr::ToZ(Box::new(upd)), &env, &funcs).unwrap(),
+            int(7)
+        );
+    }
+
+    #[test]
+    fn for_loop_checks_invariants() {
+        let funcs = BTreeMap::new();
+        // acc = Σ_{i<4} i with invariant acc == i*(i-1)/2
+        let body = vec![SStmt::Assign {
+            name: "acc".into(),
+            rhs: SExpr::var("acc").add(SExpr::var("i")),
+        }];
+        let stmts = vec![
+            SStmt::Let { name: "acc".into(), init: SExpr::int(0) },
+            SStmt::For {
+                var: "i".into(),
+                start: SExpr::int(0),
+                end: SExpr::int(4),
+                invariants: vec![SExpr::var("acc")
+                    .mul(SExpr::int(2))
+                    .eq(SExpr::var("i").mul(SExpr::var("i").sub(SExpr::int(1))))],
+                body,
+            },
+        ];
+        let mut env = Env::new();
+        exec_stmts(&stmts, &mut env, &funcs).unwrap();
+        assert_eq!(env["acc"], int(6));
+
+        // A wrong invariant is caught at runtime.
+        let bad = vec![
+            SStmt::Let { name: "acc".into(), init: SExpr::int(0) },
+            SStmt::For {
+                var: "i".into(),
+                start: SExpr::int(0),
+                end: SExpr::int(4),
+                invariants: vec![SExpr::var("acc").eq(SExpr::int(0))],
+                body: vec![SStmt::Assign {
+                    name: "acc".into(),
+                    rhs: SExpr::var("acc").add(SExpr::int(1)),
+                }],
+            },
+        ];
+        let mut env = Env::new();
+        assert!(exec_stmts(&bad, &mut env, &funcs).is_err());
+    }
+
+    #[test]
+    fn function_contracts_checked() {
+        let double = SFunc {
+            name: "double".into(),
+            params: vec!["x".into()],
+            requires: vec![SExpr::var("x").cmp(SCmp::Ge, SExpr::int(0))],
+            ensures: vec![SExpr::var("res").eq(SExpr::var("x").mul(SExpr::int(2)))],
+            body: vec![],
+            result: SExpr::var("x").add(SExpr::var("x")),
+        };
+        let funcs: BTreeMap<String, &SFunc> = [("double".to_string(), &double)].into_iter().collect();
+        let env = Env::new();
+        let call = SExpr::Call("double".into(), vec![SExpr::int(21)]);
+        assert_eq!(eval_expr(&call, &env, &funcs).unwrap(), int(42));
+        let bad = SExpr::Call("double".into(), vec![SExpr::int(-1)]);
+        assert!(eval_expr(&bad, &env, &funcs).is_err());
+    }
+
+    #[test]
+    fn div_by_zero_reported() {
+        let funcs = BTreeMap::new();
+        let env = Env::new();
+        let e = SExpr::int(1).div(SExpr::int(0));
+        assert_eq!(eval_expr(&e, &env, &funcs), Err(SeqError::DivByZero));
+    }
+}

@@ -1,0 +1,46 @@
+//! The sequential target language of the Chisel-to-software transformation.
+//!
+//! A Chisel module becomes a software simulator structured as `Trans` (one
+//! clock cycle of combinational behaviour), `Run` (a recursive clock loop
+//! bounded by a per-property timeout condition), and `Init` (register
+//! initialisation) — the paper's Listing 2. This crate defines that
+//! program form ([`SeqProgram`]), its pure-integer expression language
+//! ([`SExpr`]), a strict interpreter ([`SeqRunner`]) that also checks
+//! `require`s and loop invariants at runtime, and a Scala-style pretty
+//! printer used for the paper's Table 1 line counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use chicala_seq::{SExpr, SStmt, SeqProgram, SeqRunner, SeqVarDecl, SValue, next_name};
+//! use chicala_bigint::BigInt;
+//! use std::collections::BTreeMap;
+//!
+//! // A one-register program: R_next := io_in, timeout immediately.
+//! let prog = SeqProgram {
+//!     name: "Latch".into(),
+//!     params: vec!["len".into()],
+//!     inputs: vec![SeqVarDecl { name: "io_in".into(), width: Some(SExpr::var("len")), init: None }],
+//!     outputs: vec![],
+//!     regs: vec![SeqVarDecl { name: "R".into(), width: Some(SExpr::var("len")), init: None }],
+//!     trans: vec![
+//!         SStmt::Let { name: next_name("R"), init: SExpr::var("R") },
+//!         SStmt::Assign { name: next_name("R"), rhs: SExpr::var("io_in") },
+//!     ],
+//!     timeout: Some(SExpr::BoolConst(true)),
+//!     funcs: vec![],
+//! };
+//! let runner = SeqRunner::new(&prog, [("len".to_string(), BigInt::from(8))].into_iter().collect());
+//! let inputs = [("io_in".to_string(), SValue::Int(BigInt::from(42)))].into_iter().collect();
+//! let out = runner.init_and_run(&inputs, &BTreeMap::new(), 10)?;
+//! assert_eq!(out.regs["R"], SValue::Int(BigInt::from(42)));
+//! # Ok::<(), chicala_seq::SeqError>(())
+//! ```
+
+mod expr;
+mod interp;
+mod program;
+
+pub use expr::{SBinop, SCmp, SExpr, SValue, SeqError};
+pub use interp::{eval_expr, exec_stmts, Env, SeqRunner, TransResult};
+pub use program::{next_name, SFunc, SStmt, SeqProgram, SeqVarDecl, NEXT_SUFFIX};

@@ -1,0 +1,266 @@
+//! Program structure of the sequential target language: the `Trans` / `Run`
+//! / `Init` skeleton of the paper's Listing 2, plus specification slots
+//! (`require` / `ensuring` / loop invariants) for the verifier.
+
+use crate::expr::SExpr;
+use std::fmt;
+
+/// A statement of the sequential language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SStmt {
+    /// `var name = init` — declaration with initial value.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initialiser.
+        init: SExpr,
+    },
+    /// `name := rhs` — assignment (width clamping, when needed, is already
+    /// explicit in `rhs` as a `% Pow2(w)`).
+    Assign {
+        /// Assigned variable.
+        name: String,
+        /// Right-hand side.
+        rhs: SExpr,
+    },
+    /// `if (cond) { … } else { … }`.
+    If {
+        /// Condition.
+        cond: SExpr,
+        /// Then branch.
+        then_body: Vec<SStmt>,
+        /// Else branch.
+        else_body: Vec<SStmt>,
+    },
+    /// Counted loop `for (var <- start until end)` with optional loop
+    /// invariants (boolean expressions over the loop state and `var`).
+    For {
+        /// Loop variable.
+        var: String,
+        /// Inclusive lower bound.
+        start: SExpr,
+        /// Exclusive upper bound.
+        end: SExpr,
+        /// Invariants supplied for verification.
+        invariants: Vec<SExpr>,
+        /// Body.
+        body: Vec<SStmt>,
+    },
+}
+
+/// A variable of the generated program with its bit-width metadata.
+///
+/// `width` is the integer expression bounding the value (`0 <= v <
+/// Pow2(width)`); `None` marks booleans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqVarDecl {
+    /// Variable name (flattened signal name).
+    pub name: String,
+    /// Width expression over parameters; `None` for booleans.
+    pub width: Option<SExpr>,
+    /// Reset/initial value, for registers declared with `RegInit`.
+    pub init: Option<SExpr>,
+}
+
+/// A function of the generated program, with contract slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SFunc {
+    /// Function name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Preconditions (`require`).
+    pub requires: Vec<SExpr>,
+    /// Postconditions (`ensuring`); may mention `res` for the result.
+    pub ensures: Vec<SExpr>,
+    /// Body statements.
+    pub body: Vec<SStmt>,
+    /// Result expression.
+    pub result: SExpr,
+}
+
+/// A generated sequential program: the software simulator of one Chisel
+/// module, structured as `Trans` (one cycle), `Run` (clock loop bounded by
+/// `timeout`), and `Init` (register initialisation), per Listing 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqProgram {
+    /// Module name.
+    pub name: String,
+    /// Module parameters (mathematical integers, e.g. `len`).
+    pub params: Vec<String>,
+    /// Input variables.
+    pub inputs: Vec<SeqVarDecl>,
+    /// Output variables.
+    pub outputs: Vec<SeqVarDecl>,
+    /// Register variables; inside `Trans` each register `r` is read as `r`
+    /// and written as `r_next`.
+    pub regs: Vec<SeqVarDecl>,
+    /// Body of `Trans`.
+    pub trans: Vec<SStmt>,
+    /// Timeout condition of `Run` over the *new* register values
+    /// (`setTimeout`); supplied per verified property.
+    pub timeout: Option<SExpr>,
+    /// Helper functions.
+    pub funcs: Vec<SFunc>,
+}
+
+/// Suffix used for the next-state copy of a register inside `Trans`.
+pub const NEXT_SUFFIX: &str = "_next";
+
+/// The next-state variable name of register `r`.
+pub fn next_name(reg: &str) -> String {
+    format!("{reg}{NEXT_SUFFIX}")
+}
+
+impl SeqProgram {
+    /// Number of non-blank lines of the pretty-printed program — the
+    /// `#Scala` column of the paper's Table 1.
+    pub fn source_loc(&self) -> usize {
+        self.to_string().lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&SFunc> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+fn fmt_stmts(f: &mut fmt::Formatter<'_>, stmts: &[SStmt], indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            SStmt::Let { name, init } => writeln!(f, "{pad}var {name} = {init}")?,
+            SStmt::Assign { name, rhs } => writeln!(f, "{pad}{name} := {rhs}")?,
+            SStmt::If { cond, then_body, else_body } => {
+                writeln!(f, "{pad}if ({cond}) {{")?;
+                fmt_stmts(f, then_body, indent + 1)?;
+                if else_body.is_empty() {
+                    writeln!(f, "{pad}}}")?;
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    fmt_stmts(f, else_body, indent + 1)?;
+                    writeln!(f, "{pad}}}")?;
+                }
+            }
+            SStmt::For { var, start, end, invariants, body } => {
+                writeln!(f, "{pad}for ({var} <- {start} until {end}) {{")?;
+                for inv in invariants {
+                    writeln!(f, "{pad}  invariant({inv})")?;
+                }
+                fmt_stmts(f, body, indent + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for SeqProgram {
+    /// Pretty-prints Scala-style source in the shape of the paper's
+    /// Listing 2 (used for LoC accounting and inspection).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fields = |vars: &[SeqVarDecl]| {
+            vars.iter()
+                .map(|v| {
+                    if v.width.is_some() {
+                        format!("{}: UInt", v.name)
+                    } else {
+                        format!("{}: Bool", v.name)
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        writeln!(f, "case class Inputs({})", fields(&self.inputs))?;
+        writeln!(f, "case class Outputs({})", fields(&self.outputs))?;
+        writeln!(f, "case class Regs({})", fields(&self.regs))?;
+        let params = self
+            .params
+            .iter()
+            .map(|p| format!("{p}: BigInt"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        writeln!(f, "case class {}({params}) {{", self.name)?;
+        for func in &self.funcs {
+            writeln!(f, "  def {}({}) = {{", func.name, func.params.join(", "))?;
+            for r in &func.requires {
+                writeln!(f, "    require({r})")?;
+            }
+            fmt_stmts(f, &func.body, 2)?;
+            writeln!(f, "    {}", func.result)?;
+            for e in &func.ensures {
+                writeln!(f, "  }} ensuring({e})")?;
+            }
+            if func.ensures.is_empty() {
+                writeln!(f, "  }}")?;
+            }
+        }
+        writeln!(f, "  def Trans(ins: Inputs, regs: Regs): (Outputs, Regs) = {{")?;
+        fmt_stmts(f, &self.trans, 2)?;
+        let outs = self.outputs.iter().map(|v| v.name.clone()).collect::<Vec<_>>().join(", ");
+        let regs_next =
+            self.regs.iter().map(|v| next_name(&v.name)).collect::<Vec<_>>().join(", ");
+        writeln!(f, "    (Outputs({outs}), Regs({regs_next}))")?;
+        writeln!(f, "  }}")?;
+        writeln!(f, "  def Run(ins: Inputs, regInit: Regs): (Outputs, Regs) = {{")?;
+        writeln!(f, "    val (outs, newRegs) = Trans(ins, regInit)")?;
+        match &self.timeout {
+            Some(t) => writeln!(f, "    val timeout = {t}")?,
+            None => writeln!(f, "    val timeout = setTimeout()")?,
+        }
+        writeln!(f, "    if (!timeout) Run(ins, newRegs) else (outs, newRegs)")?;
+        writeln!(f, "  }}")?;
+        writeln!(f, "  def Init(ins: Inputs, rdInit: Regs): (Outputs, Regs) = {{")?;
+        let inits = self
+            .regs
+            .iter()
+            .map(|v| match &v.init {
+                Some(e) => e.to_string(),
+                None => format!("rdInit.{}", v.name),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        writeln!(f, "    val rgInit = Regs({inits})")?;
+        writeln!(f, "    Run(ins, rgInit)")?;
+        writeln!(f, "  }}")?;
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_name_suffix() {
+        assert_eq!(next_name("R"), "R_next");
+    }
+
+    #[test]
+    fn pretty_print_skeleton() {
+        let p = SeqProgram {
+            name: "Example".into(),
+            params: vec!["len".into()],
+            inputs: vec![SeqVarDecl {
+                name: "io_in".into(),
+                width: Some(SExpr::var("len")),
+                init: None,
+            }],
+            outputs: vec![SeqVarDecl { name: "io_out".into(), width: Some(SExpr::var("len")), init: None }],
+            regs: vec![SeqVarDecl {
+                name: "R".into(),
+                width: Some(SExpr::var("len")),
+                init: None,
+            }],
+            trans: vec![SStmt::Assign { name: next_name("R"), rhs: SExpr::var("io_in") }],
+            timeout: None,
+            funcs: vec![],
+        };
+        let text = p.to_string();
+        assert!(text.contains("case class Example(len: BigInt) {"));
+        assert!(text.contains("def Trans(ins: Inputs, regs: Regs): (Outputs, Regs) = {"));
+        assert!(text.contains("R_next := io_in"));
+        assert!(text.contains("val rgInit = Regs(rdInit.R)"));
+        assert!(p.source_loc() > 10);
+    }
+}

@@ -1,0 +1,215 @@
+//! The kernel's trusted axioms: a small set of standard integer facts that
+//! are not derivable by linear reasoning alone (they relate flooring
+//! division, multiplication by symbolic quantities, `Pow2`, and the bitwise
+//! operators' digit recurrences).
+//!
+//! Every axiom is validated against the concrete BigInt semantics on
+//! thousands of random instances in this module's tests — the same
+//! trust-but-verify posture the paper takes towards its SMT back-end.
+
+use crate::kernel::{Env, Lemma};
+use crate::term::{Formula, Term};
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+fn lemma(name: &str, vars: &[&str], hyps: Vec<Formula>, concl: Formula) -> Lemma {
+    Lemma {
+        name: name.into(),
+        vars: vars.iter().map(|s| s.to_string()).collect(),
+        hyps,
+        concl,
+    }
+}
+
+/// All axioms, in registration order.
+pub fn all() -> Vec<Lemma> {
+    let two = || Term::int(2);
+    vec![
+        // m >= 1 ∧ m*q <= a < m*(q+1)  ⟹  q == a / m
+        lemma(
+            "div_unique",
+            &["a", "m", "q"],
+            vec![
+                v("m").ge(Term::int(1)),
+                v("m").mul(v("q")).le(v("a")),
+                v("a").lt(v("m").mul(v("q").add(Term::int(1)))),
+            ],
+            v("q").eq(v("a").div(v("m"))),
+        ),
+        // a <= b ∧ 0 <= c  ⟹  a*c <= b*c
+        lemma(
+            "mul_le_mono",
+            &["a", "b", "c"],
+            vec![v("a").le(v("b")), Term::int(0).le(v("c"))],
+            v("a").mul(v("c")).le(v("b").mul(v("c"))),
+        ),
+        // a <= b ∧ m >= 1  ⟹  a/m <= b/m
+        lemma(
+            "div_le_mono",
+            &["a", "b", "m"],
+            vec![v("a").le(v("b")), v("m").ge(Term::int(1))],
+            v("a").div(v("m")).le(v("b").div(v("m"))),
+        ),
+        // n >= 1  ⟹  Pow2(n) == 2 * Pow2(n - 1)
+        lemma(
+            "pow2_step",
+            &["n"],
+            vec![v("n").ge(Term::int(1))],
+            Term::pow2(v("n")).eq(two().mul(Term::pow2(v("n").sub(Term::int(1))))),
+        ),
+        // Digit recurrences of the bitwise operators (operands
+        // non-negative); `x % 2` is written `x - 2*(x/2)` after
+        // normalisation, so the statements use division only.
+        lemma(
+            "bit_and_rec",
+            &["a", "b"],
+            vec![Term::int(0).le(v("a")), Term::int(0).le(v("b"))],
+            Term::BitAnd(Box::new(v("a")), Box::new(v("b"))).eq(
+                two()
+                    .mul(Term::BitAnd(
+                        Box::new(v("a").div(two())),
+                        Box::new(v("b").div(two())),
+                    ))
+                    .add(v("a").imod(two()).mul(v("b").imod(two()))),
+            ),
+        ),
+        lemma(
+            "bit_or_rec",
+            &["a", "b"],
+            vec![Term::int(0).le(v("a")), Term::int(0).le(v("b"))],
+            Term::BitOr(Box::new(v("a")), Box::new(v("b"))).eq(
+                two()
+                    .mul(Term::BitOr(
+                        Box::new(v("a").div(two())),
+                        Box::new(v("b").div(two())),
+                    ))
+                    .add(
+                        v("a")
+                            .imod(two())
+                            .add(v("b").imod(two()))
+                            .sub(v("a").imod(two()).mul(v("b").imod(two()))),
+                    ),
+            ),
+        ),
+        lemma(
+            "bit_xor_rec",
+            &["a", "b"],
+            vec![Term::int(0).le(v("a")), Term::int(0).le(v("b"))],
+            Term::BitXor(Box::new(v("a")), Box::new(v("b"))).eq(
+                two()
+                    .mul(Term::BitXor(
+                        Box::new(v("a").div(two())),
+                        Box::new(v("b").div(two())),
+                    ))
+                    .add(
+                        v("a")
+                            .imod(two())
+                            .add(v("b").imod(two()))
+                            .sub(Term::int(2).mul(v("a").imod(two()).mul(v("b").imod(two())))),
+                    ),
+            ),
+        ),
+        // Bounds of the bitwise operators on non-negative operands.
+        lemma(
+            "bit_and_bounds",
+            &["a", "b"],
+            vec![Term::int(0).le(v("a")), Term::int(0).le(v("b"))],
+            Formula::and_all([
+                Term::int(0).le(Term::BitAnd(Box::new(v("a")), Box::new(v("b")))),
+                Term::BitAnd(Box::new(v("a")), Box::new(v("b"))).le(v("a")),
+                Term::BitAnd(Box::new(v("a")), Box::new(v("b"))).le(v("b")),
+            ]),
+        ),
+        lemma(
+            "bit_or_bounds",
+            &["a", "b"],
+            vec![Term::int(0).le(v("a")), Term::int(0).le(v("b"))],
+            Formula::and_all([
+                v("a").le(Term::BitOr(Box::new(v("a")), Box::new(v("b")))),
+                v("b").le(Term::BitOr(Box::new(v("a")), Box::new(v("b")))),
+                Term::BitOr(Box::new(v("a")), Box::new(v("b"))).le(v("a").add(v("b"))),
+            ]),
+        ),
+        lemma(
+            "bit_xor_bounds",
+            &["a", "b"],
+            vec![Term::int(0).le(v("a")), Term::int(0).le(v("b"))],
+            Formula::and_all([
+                Term::int(0).le(Term::BitXor(Box::new(v("a")), Box::new(v("b")))),
+                Term::BitXor(Box::new(v("a")), Box::new(v("b"))).le(v("a").add(v("b"))),
+            ]),
+        ),
+    ]
+}
+
+/// Installs all axioms into `env`.
+pub fn install(env: &mut Env) {
+    for ax in all() {
+        env.assume_axiom(ax);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chicala_bigint::BigInt;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    /// Every axiom must hold on random integer instances: this is the
+    /// empirical validation of the kernel's trusted base.
+    #[test]
+    fn axioms_hold_on_random_instances() {
+        let axioms = all();
+        let mut rng = StdRng::seed_from_u64(0xC41CA1A);
+        for ax in &axioms {
+            let mut checked = 0usize;
+            let mut tries = 0usize;
+            while checked < 2000 && tries < 60_000 {
+                tries += 1;
+                let mut env: BTreeMap<String, BigInt> = BTreeMap::new();
+                for var in &ax.vars {
+                    // Mostly small magnitudes (so window hypotheses like
+                    // `m*q <= a < m*(q+1)` are hit often), occasionally
+                    // larger ones. Exponent-position values stay bounded so
+                    // `Pow2` evaluation stays cheap.
+                    let raw: i128 = match rng.gen_range(0..10) {
+                        0..=6 => rng.gen_range(-8i128..8),
+                        7 | 8 => rng.gen_range(-300i128..300),
+                        _ => rng.gen_range(-4096i128..4096),
+                    };
+                    env.insert(var.clone(), BigInt::from(raw));
+                }
+                let benv = BTreeMap::new();
+                let hyps_hold = ax
+                    .hyps
+                    .iter()
+                    .all(|h| h.eval(&env, &benv).expect("axioms are evaluable"));
+                if !hyps_hold {
+                    continue;
+                }
+                checked += 1;
+                assert_eq!(
+                    ax.concl.eval(&env, &benv),
+                    Some(true),
+                    "axiom `{}` fails at {:?}",
+                    ax.name,
+                    env
+                );
+            }
+            assert!(checked >= 200, "axiom `{}` rarely satisfiable: {checked}", ax.name);
+        }
+    }
+
+    #[test]
+    fn install_registers_all() {
+        let env = Env::new();
+        for ax in all() {
+            assert!(env.lemma(&ax.name).is_some(), "{} missing", ax.name);
+            assert!(env.axiom_names().contains(&ax.name));
+        }
+    }
+}

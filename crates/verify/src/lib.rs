@@ -1,0 +1,40 @@
+//! A deductive verifier for the generated sequential programs — the
+//! workspace's stand-in for Stainless (§3 of the paper).
+//!
+//! * term-level logic: nonlinear integer arithmetic with flooring
+//!   division, `Pow2`, and bitwise operators (the integer view of
+//!   bit-vectors, Listing 3);
+//! * a proof kernel with a small trusted axiom base, an automatic
+//!   core (conditional splitting, polynomial normalisation, `Div`/`Pow2`
+//!   fact saturation, Fourier–Motzkin), and explicit tactics — lemma
+//!   instantiation, equation chains (Listing 4), case analysis, induction,
+//!   and unfolding — matching the paper's proof-refinement strategies;
+//! * VC generation: symbolic execution of `Trans` and the `Init`/`Run`
+//!   refinement rule (§3.1) that reduces "for all clock cycles and all bit
+//!   widths" to invariant preservation plus a termination measure.
+
+mod axioms;
+mod kernel;
+mod linarith;
+mod poly;
+mod term;
+mod vcgen;
+
+pub use axioms::all as axiom_lemmas;
+pub use kernel::{CalcStep, DefFn, Env, Just, Lemma, Limits, Proof, ProofError};
+pub use linarith::{refute, LinCon, Refutation};
+
+/// Number of Fourier–Motzkin invocations so far (profiling aid).
+pub fn refute_calls() -> u64 {
+    linarith::REFUTE_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Total microseconds spent in Fourier–Motzkin so far (profiling aid).
+pub fn refute_micros() -> u64 {
+    linarith::REFUTE_MICROS.load(std::sync::atomic::Ordering::Relaxed)
+}
+pub use poly::{assume_ite, find_ite, normalize, ItePresent, Poly};
+pub use term::{Formula, Sym, Term};
+pub use vcgen::{
+    verify_design, DesignSpec, SymState, SymValue, Vc, VcError, VcReport,
+};

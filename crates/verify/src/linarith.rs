@@ -1,0 +1,540 @@
+//! Linear integer arithmetic over opaque atoms: Fourier–Motzkin
+//! elimination with integer tightening.
+//!
+//! Constraints have the form `Σ cᵢ·xᵢ + k ≥ 0` over atom indices; strict
+//! inequalities are pre-converted (`> 0` becomes `≥ 1`) since all atoms are
+//! integers. [`refute`] reports whether the constraint set is
+//! unsatisfiable; proving a goal means refuting its negation together with
+//! the hypotheses.
+
+use chicala_bigint::BigInt;
+use std::collections::BTreeMap;
+
+/// A linear constraint `Σ coeffs[i]·atom_i + constant ≥ 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinCon {
+    /// Non-zero coefficients per atom index.
+    pub coeffs: BTreeMap<usize, BigInt>,
+    /// The constant offset.
+    pub constant: BigInt,
+}
+
+impl LinCon {
+    /// A constraint with no atoms.
+    pub fn constant(k: BigInt) -> LinCon {
+        LinCon { coeffs: BTreeMap::new(), constant: k }
+    }
+
+    fn is_trivially_true(&self) -> bool {
+        self.coeffs.is_empty() && !self.constant.is_negative()
+    }
+
+    fn is_trivially_false(&self) -> bool {
+        self.coeffs.is_empty() && self.constant.is_negative()
+    }
+
+    /// Divides through by the gcd of the coefficients, flooring the
+    /// constant — sound for integer solutions and strictly tightening.
+    fn tighten(&mut self) {
+        if self.coeffs.is_empty() {
+            return;
+        }
+        let mut g = BigInt::zero();
+        for c in self.coeffs.values() {
+            g = gcd(g, c.abs());
+        }
+        if g.is_one() || g.is_zero() {
+            return;
+        }
+        for c in self.coeffs.values_mut() {
+            *c = c.div_floor(&g);
+        }
+        self.constant = self.constant.div_floor(&g);
+    }
+}
+
+fn gcd(a: BigInt, b: BigInt) -> BigInt {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while !b.is_zero() {
+        let r = a.mod_floor(&b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Outcome of a refutation attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Refutation {
+    /// The constraints are unsatisfiable over the integers (goal proved).
+    Unsat,
+    /// No contradiction was found (Fourier–Motzkin is complete over the
+    /// rationals, so a rational model exists; over the integers this is
+    /// "unknown" in rare corner cases).
+    Unknown,
+    /// The search exceeded its budget.
+    Overflow,
+}
+
+/// Attempts to refute the conjunction of `cons` over the integers.
+///
+/// `budget` caps the number of constraints generated (Fourier–Motzkin can
+/// blow up quadratically per eliminated variable).
+/// Global counters for coarse profiling (tests only).
+pub static REFUTE_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// Total microseconds spent inside [`refute`].
+pub static REFUTE_MICROS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+pub fn refute(mut cons: Vec<LinCon>, budget: usize) -> Refutation {
+    let start = std::time::Instant::now();
+    // Small systems are cheaper to solve than to memoise.
+    if cons.len() < 24 {
+        let r = refute_inner(cons, budget);
+        REFUTE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        REFUTE_MICROS.fetch_add(
+            start.elapsed().as_micros() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        return r;
+    }
+    // Memoise: the tiered prover and its Have/Use chains re-pose identical
+    // systems many times (per hypothesis case, per chain step). The key is
+    // exact (canonicalised constraints + budget), so hits are sound.
+    cons.sort_by(|a, b| {
+        let ka: Vec<(usize, &BigInt)> = a.coeffs.iter().map(|(&i, c)| (i, c)).collect();
+        let kb: Vec<(usize, &BigInt)> = b.coeffs.iter().map(|(&i, c)| (i, c)).collect();
+        ka.cmp(&kb).then_with(|| a.constant.cmp(&b.constant))
+    });
+    let key = {
+        let mut k = String::with_capacity(cons.len() * 16);
+        k.push_str(&budget.to_string());
+        for c in &cons {
+            k.push(';');
+            for (i, v) in &c.coeffs {
+                k.push_str(&i.to_string());
+                k.push(':');
+                k.push_str(&v.to_string());
+                k.push(',');
+            }
+            k.push('#');
+            k.push_str(&c.constant.to_string());
+        }
+        k
+    };
+    let cached = CACHE.with(|c| c.borrow().get(&key).copied());
+    if let Some(r) = cached {
+        return r;
+    }
+    let r = refute_inner(cons, budget);
+    CACHE.with(|c| {
+        let mut map = c.borrow_mut();
+        if map.len() > 200_000 {
+            map.clear();
+        }
+        map.insert(key, r);
+    });
+    REFUTE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    REFUTE_MICROS.fetch_add(
+        start.elapsed().as_micros() as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
+    r
+}
+
+thread_local! {
+    static CACHE: std::cell::RefCell<std::collections::HashMap<String, Refutation>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+fn refute_inner(cons: Vec<LinCon>, budget: usize) -> Refutation {
+    // Fast path: i128 coefficients (the overwhelmingly common case).
+    if let Some(fast) = cons
+        .iter()
+        .map(|c| {
+            let coeffs = c
+                .coeffs
+                .iter()
+                .map(|(&v, k)| i128::try_from(k).ok().map(|k| (v, k)))
+                .collect::<Option<Vec<(usize, i128)>>>()?;
+            let k = i128::try_from(&c.constant).ok()?;
+            Some(FastCon { coeffs, k })
+        })
+        .collect::<Option<Vec<FastCon>>>()
+    {
+        match refute_fast(fast, budget) {
+            Some(r) => return r,
+            None => {} // overflow: fall through to the BigInt path
+        }
+    }
+    refute_big(cons, budget)
+}
+
+/// An i128 constraint `Σ coeffs·x + k >= 0` (coeffs sorted by variable).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct FastCon {
+    coeffs: Vec<(usize, i128)>,
+    k: i128,
+}
+
+impl FastCon {
+    fn tighten(&mut self) -> Option<()> {
+        if self.coeffs.is_empty() {
+            return Some(());
+        }
+        let mut g: i128 = 0;
+        for &(_, c) in &self.coeffs {
+            g = gcd_i128(g, c.abs());
+        }
+        if g > 1 {
+            for (_, c) in &mut self.coeffs {
+                *c = c.div_euclid(g);
+            }
+            self.k = self.k.div_euclid(g);
+        }
+        Some(())
+    }
+}
+
+fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let r = a.rem_euclid(b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Gaussian substitution of implied equalities: whenever both `p >= 0` and
+/// `-p >= 0` are present and some variable's coefficient in `p` divides all
+/// the others and the constant, that variable is eliminated *exactly* —
+/// this is what lets integer-only (parity-style) contradictions surface
+/// through the subsequent gcd tightening, where rational elimination alone
+/// would report a model.
+fn gauss_substitute(cons: &mut Vec<FastCon>) -> Option<()> {
+    loop {
+        // Find an equality pair.
+        let mut eq_idx: Option<usize> = None;
+        {
+            let mut seen: BTreeMap<(Vec<(usize, i128)>, i128), usize> = BTreeMap::new();
+            for (i, c) in cons.iter().enumerate() {
+                if c.coeffs.is_empty() {
+                    continue;
+                }
+                let neg_key = (
+                    c.coeffs.iter().map(|&(v, k)| (v, -k)).collect::<Vec<_>>(),
+                    -c.k,
+                );
+                if seen.contains_key(&neg_key) {
+                    eq_idx = Some(i);
+                    break;
+                }
+                seen.insert((c.coeffs.clone(), c.k), i);
+            }
+        }
+        let Some(i) = eq_idx else { return Some(()) };
+        let eq = cons[i].clone();
+        // Pick a variable whose coefficient divides everything.
+        let Some(&(var, a)) = eq.coeffs.iter().find(|&&(_, a)| {
+            let a = a.abs();
+            a != 0
+                && eq.coeffs.iter().all(|&(_, c)| c % a == 0)
+                && eq.k % a == 0
+        }) else {
+            // No exact pivot: drop the pair from further substitution
+            // attempts by leaving it; bail out of the loop to avoid
+            // spinning (the plain elimination still sees the equality).
+            return Some(());
+        };
+        // var = -(k + sum others) / a.
+        let subst: Vec<(usize, i128)> = eq
+            .coeffs
+            .iter()
+            .filter(|&&(v, _)| v != var)
+            .map(|&(v, c)| (v, -(c / a)))
+            .collect();
+        let subst_k = -(eq.k / a);
+        let mut out = Vec::with_capacity(cons.len());
+        for c in cons.drain(..) {
+            let Some(&(_, d)) = c.coeffs.iter().find(|&&(v, _)| v == var) else {
+                out.push(c);
+                continue;
+            };
+            // Replace d*var by d*(subst + subst_k).
+            let mut acc: BTreeMap<usize, i128> = c
+                .coeffs
+                .iter()
+                .filter(|&&(v, _)| v != var)
+                .map(|&(v, k)| (v, k))
+                .collect();
+            for &(v, sc) in &subst {
+                let add = sc.checked_mul(d)?;
+                let e = acc.entry(v).or_insert(0);
+                *e = e.checked_add(add)?;
+            }
+            let k = c.k.checked_add(subst_k.checked_mul(d)?)?;
+            let mut nc = FastCon {
+                coeffs: acc.into_iter().filter(|&(_, c)| c != 0).collect(),
+                k,
+            };
+            nc.tighten()?;
+            if !(nc.coeffs.is_empty() && nc.k >= 0) {
+                out.push(nc);
+            }
+        }
+        *cons = out;
+        cons.sort();
+        cons.dedup();
+        if cons.iter().any(|c| c.coeffs.is_empty() && c.k < 0) {
+            // Leave the contradiction for the caller's check.
+            return Some(());
+        }
+    }
+}
+
+/// i128 Fourier–Motzkin; `None` on arithmetic overflow (caller falls back
+/// to the BigInt path).
+fn refute_fast(mut cons: Vec<FastCon>, budget: usize) -> Option<Refutation> {
+    for c in &mut cons {
+        c.tighten()?;
+    }
+    cons.sort();
+    cons.dedup();
+    gauss_substitute(&mut cons)?;
+    loop {
+        cons.retain(|c| !(c.coeffs.is_empty() && c.k >= 0));
+        if cons.iter().any(|c| c.coeffs.is_empty() && c.k < 0) {
+            return Some(Refutation::Unsat);
+        }
+        let mut counts: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+        for c in &cons {
+            for &(v, coef) in &c.coeffs {
+                let e = counts.entry(v).or_insert((0, 0));
+                if coef < 0 {
+                    e.1 += 1;
+                } else {
+                    e.0 += 1;
+                }
+            }
+        }
+        let Some((&var, _)) = counts.iter().min_by_key(|(_, (p, n))| (p * n, p + n)) else {
+            return Some(Refutation::Unknown);
+        };
+        let (mut pos, mut neg, mut rest) = (Vec::new(), Vec::new(), Vec::new());
+        for c in cons {
+            match c.coeffs.iter().find(|(v, _)| *v == var) {
+                None => rest.push(c),
+                Some((_, k)) if *k < 0 => neg.push(c),
+                Some(_) => pos.push(c),
+            }
+        }
+        if pos.len() * neg.len() + rest.len() > budget {
+            return Some(Refutation::Overflow);
+        }
+        for p in &pos {
+            for n in &neg {
+                let a = p.coeffs.iter().find(|(v, _)| *v == var).expect("pos").1;
+                let b = -n.coeffs.iter().find(|(v, _)| *v == var).expect("neg").1;
+                let mut acc: BTreeMap<usize, i128> = BTreeMap::new();
+                for &(v, c) in &p.coeffs {
+                    if v != var {
+                        let add = c.checked_mul(b)?;
+                        let e = acc.entry(v).or_insert(0);
+                        *e = e.checked_add(add)?;
+                    }
+                }
+                for &(v, c) in &n.coeffs {
+                    if v != var {
+                        let add = c.checked_mul(a)?;
+                        let e = acc.entry(v).or_insert(0);
+                        *e = e.checked_add(add)?;
+                    }
+                }
+                let k = p.k.checked_mul(b)?.checked_add(n.k.checked_mul(a)?)?;
+                let mut combined = FastCon {
+                    coeffs: acc.into_iter().filter(|(_, c)| *c != 0).collect(),
+                    k,
+                };
+                combined.tighten()?;
+                if !(combined.coeffs.is_empty() && combined.k >= 0) {
+                    rest.push(combined);
+                }
+            }
+        }
+        cons = rest;
+        cons.sort();
+        cons.dedup();
+        if cons.is_empty() {
+            return Some(Refutation::Unknown);
+        }
+        if cons.len() > budget {
+            return Some(Refutation::Overflow);
+        }
+    }
+}
+
+fn refute_big(mut cons: Vec<LinCon>, budget: usize) -> Refutation {
+    for c in &mut cons {
+        c.tighten();
+    }
+    dedupe(&mut cons);
+    loop {
+        cons.retain(|c| !c.is_trivially_true());
+        if cons.iter().any(|c| c.is_trivially_false()) {
+            return Refutation::Unsat;
+        }
+        // Pick the variable minimising the pos*neg product; one-sided
+        // variables (product 0) are free to eliminate — their constraints
+        // are simply dropped.
+        let mut counts: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+        for c in &cons {
+            for (&v, coef) in &c.coeffs {
+                let e = counts.entry(v).or_insert((0, 0));
+                if coef.is_negative() {
+                    e.1 += 1;
+                } else {
+                    e.0 += 1;
+                }
+            }
+        }
+        let Some((&var, _)) = counts
+            .iter()
+            .min_by_key(|(_, (p, n))| (p * n, p + n))
+        else {
+            return Refutation::Unknown; // no variables left, no contradiction
+        };
+        let (mut pos, mut neg, mut rest) = (Vec::new(), Vec::new(), Vec::new());
+        for c in cons {
+            match c.coeffs.get(&var) {
+                None => rest.push(c),
+                Some(k) if k.is_negative() => neg.push(c),
+                Some(_) => pos.push(c),
+            }
+        }
+        if pos.len() * neg.len() + rest.len() > budget {
+            return Refutation::Overflow;
+        }
+        // Combine every (pos, neg) pair to eliminate `var`.
+        for p in &pos {
+            for n in &neg {
+                let a = p.coeffs[&var].clone(); // > 0
+                let b = -n.coeffs[&var].clone(); // > 0
+                // b*p + a*n eliminates var.
+                let mut combined = LinCon {
+                    coeffs: BTreeMap::new(),
+                    constant: &p.constant * &b + &n.constant * &a,
+                };
+                for (&v, c) in &p.coeffs {
+                    if v != var {
+                        *combined.coeffs.entry(v).or_insert_with(BigInt::zero) += &(c * &b);
+                    }
+                }
+                for (&v, c) in &n.coeffs {
+                    if v != var {
+                        *combined.coeffs.entry(v).or_insert_with(BigInt::zero) += &(c * &a);
+                    }
+                }
+                combined.coeffs.retain(|_, c| !c.is_zero());
+                combined.tighten();
+                rest.push(combined);
+            }
+        }
+        // Constraints that mention var only positively (or only negatively)
+        // are unbounded in that direction and can be dropped.
+        cons = rest;
+        cons.retain(|c| !c.is_trivially_true());
+        dedupe(&mut cons);
+        if cons.is_empty() {
+            return Refutation::Unknown;
+        }
+        if cons.len() > budget {
+            return Refutation::Overflow;
+        }
+    }
+}
+
+/// Removes exact duplicates (common after saturation).
+fn dedupe(cons: &mut Vec<LinCon>) {
+    let mut seen: std::collections::BTreeSet<(Vec<(usize, BigInt)>, BigInt)> =
+        std::collections::BTreeSet::new();
+    cons.retain(|c| {
+        let key = (
+            c.coeffs.iter().map(|(&i, v)| (i, v.clone())).collect::<Vec<_>>(),
+            c.constant.clone(),
+        );
+        seen.insert(key)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn con(coeffs: &[(usize, i64)], k: i64) -> LinCon {
+        LinCon {
+            coeffs: coeffs
+                .iter()
+                .filter(|(_, c)| *c != 0)
+                .map(|(v, c)| (*v, BigInt::from(*c)))
+                .collect(),
+            constant: BigInt::from(k),
+        }
+    }
+
+    #[test]
+    fn simple_contradiction() {
+        // x >= 3  and  x <= 1  (i.e. -x + 1 >= 0): unsat.
+        let cons = vec![con(&[(0, 1)], -3), con(&[(0, -1)], 1)];
+        assert_eq!(refute(cons, 1000), Refutation::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_reports_unknown() {
+        // x >= 0 and x <= 5: satisfiable.
+        let cons = vec![con(&[(0, 1)], 0), con(&[(0, -1)], 5)];
+        assert_eq!(refute(cons, 1000), Refutation::Unknown);
+    }
+
+    #[test]
+    fn integer_tightening() {
+        // 2x >= 1 and 2x <= 1 has the rational solution x = 1/2 but no
+        // integer solution; tightening floors the bounds to x >= 1, x <= 0.
+        let cons = vec![con(&[(0, 2)], -1), con(&[(0, -2)], 1)];
+        assert_eq!(refute(cons, 1000), Refutation::Unsat);
+    }
+
+    #[test]
+    fn multi_variable_chain() {
+        // x <= y, y <= z, z <= x - 1: unsat.
+        let cons = vec![
+            con(&[(1, 1), (0, -1)], 0),  // y - x >= 0
+            con(&[(2, 1), (1, -1)], 0),  // z - y >= 0
+            con(&[(0, 1), (2, -1)], -1), // x - z - 1 >= 0
+        ];
+        assert_eq!(refute(cons, 1000), Refutation::Unsat);
+    }
+
+    #[test]
+    fn transitive_bound_is_satisfiable() {
+        // x <= y, y <= z: fine.
+        let cons = vec![con(&[(1, 1), (0, -1)], 0), con(&[(2, 1), (1, -1)], 0)];
+        assert_eq!(refute(cons, 1000), Refutation::Unknown);
+    }
+
+    #[test]
+    fn constant_contradiction() {
+        assert_eq!(refute(vec![LinCon::constant(BigInt::from(-1))], 10), Refutation::Unsat);
+        assert_eq!(refute(vec![LinCon::constant(BigInt::zero())], 10), Refutation::Unknown);
+    }
+
+    #[test]
+    fn budget_overflow() {
+        // Many interacting inequalities (no equality pairs, so Gaussian
+        // substitution cannot collapse them) with a tiny budget.
+        let mut cons = Vec::new();
+        for i in 0..10usize {
+            cons.push(con(&[(0, 1), (i + 1, 1)], -1));
+            cons.push(con(&[(0, -1), (i + 1, -2)], 5));
+        }
+        assert_eq!(refute(cons, 3), Refutation::Overflow);
+    }
+}

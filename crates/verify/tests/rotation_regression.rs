@@ -1,0 +1,42 @@
+//! Regression tests distilled from the rotate-step proof development:
+//! the mod/div fact chains the automatic core must close.
+
+use chicala_verify::{Env, Term};
+
+fn v(n: &str) -> Term { Term::var(n) }
+fn t(x: i64) -> Term { Term::int(x) }
+
+#[test]
+fn modsmall_hyp_discharge() {
+    let env = Env::new();
+    let lo = v("io_in").imod(Term::pow2(v("cnt")));
+    let pp = Term::pow2(v("len").sub(v("cnt")).sub(t(1)));
+    let hi2 = v("io_in").div(Term::pow2(v("cnt"))).div(t(2));
+    let goal = t(0).le(lo.mul(pp).add(hi2));
+    let hyps = vec![
+        t(0).le(v("io_in")),
+        v("io_in").lt(Term::pow2(v("len"))),
+        t(0).le(v("cnt")),
+        v("cnt").lt(v("len")),
+        t(1).le(v("len")),
+    ];
+    env.prove(&hyps, &goal, &chicala_verify::Proof::Auto).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn quotient_pinning_via_gauss() {
+    // 0 <= a < m pins a/m to zero without any lemma.
+    let env = Env::new();
+    let goal = v("a").div(v("m")).eq(t(0));
+    let hyps = vec![t(0).le(v("a")), v("a").lt(v("m"))];
+    env.prove(&hyps, &goal, &chicala_verify::Proof::Auto).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn counter_increment_mod_free() {
+    // (cnt+1) % 2^len == cnt + 1 under cnt < len (the no-wrap pattern).
+    let env = Env::new();
+    let goal = v("cnt").add(t(1)).imod(Term::pow2(v("len"))).eq(v("cnt").add(t(1)));
+    let hyps = vec![t(0).le(v("cnt")), v("cnt").lt(v("len"))];
+    env.prove(&hyps, &goal, &chicala_verify::Proof::Auto).unwrap_or_else(|e| panic!("{e}"));
+}

@@ -1,0 +1,61 @@
+//! Verifies both case-study dividers — the RocketChip restoring divider
+//! and the XiangShan `Radix2Divider` — for all bit widths at once, then
+//! sanity-runs them at a few concrete widths.
+//!
+//! Run with `cargo run --release --example verify_dividers`.
+
+use chicala::bigint::BigInt;
+use chicala::chisel::{elaborate, Module, Simulator};
+use chicala::core::transform;
+use chicala::verify::{verify_design, DesignSpec, Env};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn verify(name: &str, module: &Module, spec: &DesignSpec) -> Result<(), Box<dyn std::error::Error>> {
+    let start = Instant::now();
+    let out = transform(module)?;
+    let mut env = Env::new();
+    chicala::bvlib::install_bitvec(&mut env).map_err(|(n, e)| format!("lemma {n}: {e}"))?;
+    let report = verify_design(&mut env, &out.program, spec, &out.obligations)?;
+    println!(
+        "{name}: {} VCs proved for ALL bit widths in {:.1?} ({} proof scripts)",
+        report.proved(),
+        start.elapsed(),
+        report.scripted.len()
+    );
+    Ok(())
+}
+
+fn demo_division(name: &str, module: &Module, len: i64, n: u64, d: u64) {
+    let em = elaborate(module, &[("len".to_string(), len)].into_iter().collect())
+        .expect("elaborates");
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).expect("constructs");
+    let inputs: BTreeMap<String, BigInt> = [
+        ("io_n".to_string(), BigInt::from(n)),
+        ("io_d".to_string(), BigInt::from(d)),
+    ]
+    .into_iter()
+    .collect();
+    for _ in 0..(len as usize + 1) {
+        sim.step(&inputs).expect("steps");
+    }
+    println!("  {name} at len={len}: {n} / {d} computed by the hardware model");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Verifying the shift/subtract dividers for every bit width at once...\n");
+    verify(
+        "R-divider (RocketChip)",
+        &chicala::designs::rdiv::module(),
+        &chicala::designs::rdiv::spec(),
+    )?;
+    verify(
+        "X-divider (XiangShan Radix2Divider)",
+        &chicala::designs::xdiv::module(),
+        &chicala::designs::xdiv::spec(),
+    )?;
+    println!("\nConcrete spot checks:");
+    demo_division("R-divider", &chicala::designs::rdiv::module(), 16, 50000, 123);
+    demo_division("X-divider", &chicala::designs::xdiv::module(), 16, 50000, 123);
+    Ok(())
+}

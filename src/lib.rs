@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the whole chicala workspace.
+//!
+//! See the crate-level docs of the member crates; [`chicala_core`] holds the
+//! paper's primary contribution (the Chisel-to-sequential transformation),
+//! [`chicala_verify`] the deductive verifier, and [`chicala_designs`] the
+//! verified case-study designs.
+
+pub use chicala_bigint as bigint;
+pub use chicala_bvlib as bvlib;
+pub use chicala_chisel as chisel;
+pub use chicala_core as core;
+pub use chicala_designs as designs;
+pub use chicala_lowlevel as lowlevel;
+pub use chicala_seq as seq;
+pub use chicala_verify as verify;
