@@ -12,7 +12,7 @@ use chicala_chisel::elaborate;
 use chicala_core::{transform_with, TransformOptions};
 use chicala_lowlevel::bdd::Bdd;
 use chicala_lowlevel::{fresh_inputs, unroll, words_equal};
-use criterion::{criterion_group, criterion_main, Criterion};
+use chicala_bench::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 
 fn ablations(c: &mut Criterion) {

@@ -9,7 +9,7 @@
 use chicala_chisel::elaborate;
 use chicala_lowlevel::bdd::Bdd;
 use chicala_lowlevel::{add_words, fresh_inputs, unroll, words_equal, Word};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chicala_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 
 fn mul_reference(

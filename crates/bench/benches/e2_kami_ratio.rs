@@ -6,7 +6,7 @@
 //! automated and only invariants plus stuck-step hints are manual.
 
 use chicala_bench::{case_studies, effort_row};
-use criterion::{criterion_group, criterion_main, Criterion};
+use chicala_bench::{criterion_group, criterion_main, Criterion};
 
 /// The ratio the paper cites for Kami's multiplier/divider proofs [7, 8].
 const KAMI_PUBLISHED_RATIO: f64 = 11.0;

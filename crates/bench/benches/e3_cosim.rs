@@ -6,7 +6,7 @@ use chicala_bigint::BigInt;
 use chicala_chisel::{elaborate, Simulator};
 use chicala_core::transform;
 use chicala_seq::{SValue, SeqRunner};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chicala_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 
 fn cosim_cycles(len: i64, cycles: usize) {

@@ -9,7 +9,7 @@
 
 use chicala_bench::{case_studies, effort_row, render_table1, EffortRow};
 use chicala_core::transform;
-use criterion::{criterion_group, criterion_main, Criterion};
+use chicala_bench::{criterion_group, criterion_main, Criterion};
 
 fn table1(c: &mut Criterion) {
     let studies = case_studies();

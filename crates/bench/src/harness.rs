@@ -1,0 +1,176 @@
+//! A minimal, dependency-free measurement harness with a Criterion-shaped
+//! API (`Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `criterion_group!`, `criterion_main!`), so the
+//! benches run in this hermetic workspace without fetching crates.
+//!
+//! Measurement model: each benchmark runs one untimed warm-up iteration,
+//! then `sample_size` timed iterations (default 10), and prints the
+//! minimum, median, and mean wall-clock time per iteration. The minimum is
+//! the robust statistic to read on noisy machines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Criterion-compatible constructor: the id is the parameter's display
+    /// form (e.g. the width being measured).
+    pub fn from_parameter(p: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10 }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher { iters: self.sample_size, samples: Vec::new() };
+        f(&mut b);
+        report(&self.name, &id.0, &b.samples);
+    }
+
+    /// Runs one parameterized benchmark (the input is just borrowed
+    /// through, as in Criterion).
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher { iters: self.sample_size, samples: Vec::new() };
+        f(&mut b, input);
+        report(&self.name, &id.0, &b.samples);
+    }
+
+    /// Ends the group (kept for API compatibility; output is incremental).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; `iter` does the timing.
+pub struct Bencher {
+    iters: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: one untimed warm-up call, then `sample_size` timed calls.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        self.samples.clear();
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{group}/{id}: min {} / median {} / mean {} ({} samples)",
+        human(min),
+        human(median),
+        human(mean),
+        sorted.len()
+    );
+}
+
+/// Criterion-compatible: bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Criterion-compatible: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("harness/self");
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_function("counting", |b| b.iter(|| ran += 1));
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(ran, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,6 +1,11 @@
 //! Shared harness code for the benchmark suite: the artifacts and metrics
 //! each experiment reports, so benches and tests print the same rows the
-//! paper's evaluation contains.
+//! paper's evaluation contains, plus the dependency-free Criterion-shaped
+//! measurement harness the benches run on ([`harness`]).
+
+pub mod harness;
+
+pub use harness::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
 
 use chicala_chisel::{elaborate, Bindings, Module};
 use chicala_core::{transform, TransformOutput};

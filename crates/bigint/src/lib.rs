@@ -117,7 +117,7 @@ impl BigInt {
 
     /// Whether the value is even.
     pub fn is_even(&self) -> bool {
-        self.mag.first().map_or(true, |l| l & 1 == 0)
+        self.mag.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Sign of the value; zero reports [`Sign::Plus`].

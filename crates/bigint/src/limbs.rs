@@ -30,9 +30,9 @@ pub(crate) fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
+    for (i, &l) in long.iter().enumerate() {
         let s = short.get(i).copied().unwrap_or(0);
-        let (t, c1) = long[i].overflowing_add(s);
+        let (t, c1) = l.overflowing_add(s);
         let (t, c2) = t.overflowing_add(carry);
         carry = (c1 as u64) + (c2 as u64);
         out.push(t);
@@ -48,9 +48,9 @@ pub(crate) fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
     debug_assert!(cmp(a, b) != Ordering::Less, "limb sub underflow");
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0u64;
-    for i in 0..a.len() {
+    for (i, &x) in a.iter().enumerate() {
         let s = b.get(i).copied().unwrap_or(0);
-        let (t, b1) = a[i].overflowing_sub(s);
+        let (t, b1) = x.overflowing_sub(s);
         let (t, b2) = t.overflowing_sub(borrow);
         borrow = (b1 as u64) + (b2 as u64);
         out.push(t);

@@ -1,0 +1,156 @@
+//! Seeded property tests cross-checking BigInt arithmetic against i128,
+//! plus beyond-i128 ring identities. Randomness comes from a local
+//! splitmix64 so the suite is hermetic and every failure replays from the
+//! fixed per-test seed (printed in the assertion message as `case N`).
+
+use chicala_bigint::BigInt;
+
+const CASES: usize = 512;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn i128_full(&mut self) -> i128 {
+        ((self.next() as i128) << 64) | self.next() as i128
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn b(x: i128) -> BigInt {
+    BigInt::from(x)
+}
+
+#[test]
+fn add_sub_mul_match_i128() {
+    let mut rng = Rng(1);
+    for case in 0..CASES {
+        // Stay within ±2^62 so x+y and the shifted products fit in i128.
+        let x = rng.i128_full() % (1i128 << 62);
+        let y = rng.i128_full() % (1i128 << 62);
+        assert_eq!(b(x) + b(y), b(x + y), "case {case}: {x} + {y}");
+        assert_eq!(b(x) - b(y), b(x - y), "case {case}: {x} - {y}");
+        assert_eq!(
+            b(x >> 32) * b(y >> 32),
+            b((x >> 32) * (y >> 32)),
+            "case {case}: product"
+        );
+    }
+}
+
+#[test]
+fn div_rem_matches_i128() {
+    let mut rng = Rng(2);
+    for case in 0..CASES {
+        let x = rng.i128_full();
+        let y = rng.i128_full();
+        if y == 0 {
+            continue;
+        }
+        let (q, r) = b(x).div_rem(&b(y));
+        assert_eq!(q, b(x / y), "case {case}: {x} / {y}");
+        assert_eq!(r, b(x % y), "case {case}: {x} % {y}");
+    }
+    // i128::MIN / -1 overflows the primitive; BigInt must still be right.
+    let (q, _) = b(i128::MIN).div_rem(&b(-1));
+    assert_eq!(q, -BigInt::from(i128::MIN));
+}
+
+#[test]
+fn euclid_identity_beyond_i128() {
+    let mut rng = Rng(3);
+    for case in 0..CASES {
+        let xlimbs = 1 + rng.below(5) as usize;
+        let ylimbs = 1 + rng.below(3) as usize;
+        let x = (0..xlimbs).fold(BigInt::zero(), |acc, _| (acc << 64) + BigInt::from(rng.next()));
+        let y = (0..ylimbs).fold(BigInt::zero(), |acc, _| (acc << 64) + BigInt::from(rng.next()));
+        if y.is_zero() {
+            continue;
+        }
+        let (q, r) = x.div_rem(&y);
+        assert_eq!(&q * &y + &r, x.clone(), "case {case}: euclid identity");
+        assert!(r.abs() < y.abs(), "case {case}: remainder bound");
+    }
+}
+
+#[test]
+fn mod_floor_in_range() {
+    let mut rng = Rng(4);
+    for case in 0..CASES {
+        let m = rng.i128_full() >> 1; // stay clear of the i128::MIN edge
+        let w = 1 + rng.below(199);
+        let u = b(m).to_unsigned(w);
+        assert!(u >= BigInt::zero(), "case {case}");
+        assert!(u < BigInt::pow2(w), "case {case}");
+        // (u - m) divisible by 2^w.
+        assert!(
+            ((u - b(m)).mod_floor(&BigInt::pow2(w))).is_zero(),
+            "case {case}: congruence mod 2^{w}"
+        );
+    }
+}
+
+#[test]
+fn shifts_match_division() {
+    let mut rng = Rng(5);
+    for case in 0..CASES {
+        let x = rng.i128_full().rem_euclid(1i128 << 100);
+        let s = rng.below(90);
+        assert_eq!(b(x) << s, b(x) * BigInt::pow2(s), "case {case}: shl");
+        assert_eq!(b(x) >> s, b(x).div_floor(&BigInt::pow2(s)), "case {case}: shr");
+    }
+}
+
+#[test]
+fn bitwise_match_i128() {
+    let mut rng = Rng(6);
+    for case in 0..CASES {
+        let x = rng.i128_full() & i128::MAX;
+        let y = rng.i128_full() & i128::MAX;
+        assert_eq!(b(x) & b(y), b(x & y), "case {case}: and");
+        assert_eq!(b(x) | b(y), b(x | y), "case {case}: or");
+        assert_eq!(b(x) ^ b(y), b(x ^ y), "case {case}: xor");
+    }
+}
+
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = Rng(7);
+    for case in 0..CASES {
+        let limbs = rng.below(5) as usize;
+        let mut x =
+            (0..limbs).fold(BigInt::zero(), |acc, _| (acc << 64) + BigInt::from(rng.next()));
+        if rng.below(2) == 1 {
+            x = -x;
+        }
+        let s = x.to_string();
+        assert_eq!(s.parse::<BigInt>().unwrap(), x, "case {case}: {s}");
+    }
+}
+
+#[test]
+fn signed_unsigned_views_are_inverse() {
+    let mut rng = Rng(8);
+    for case in 0..CASES {
+        let x = rng.next() as i64;
+        let w = 1 + rng.below(79);
+        let s = b(x as i128).to_signed(w);
+        assert_eq!(
+            s.to_unsigned(w),
+            b(x as i128).to_unsigned(w),
+            "case {case}: same bits (x={x}, w={w})"
+        );
+        assert!(s < BigInt::pow2(w - 1), "case {case}: upper bound");
+        assert!(s >= -BigInt::pow2(w - 1), "case {case}: lower bound");
+    }
+}

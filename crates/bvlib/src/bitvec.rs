@@ -65,6 +65,9 @@ fn use_lemma(name: &str, args: Vec<Term>, rest: Proof) -> Proof {
 }
 
 /// The library's lemmas, each paired with its proof, in dependency order.
+// Sequential pushes (not `vec![]`) keep each lemma under its own L_n
+// commentary block.
+#[allow(clippy::vec_init_then_push)]
 pub fn lemmas() -> Vec<(Lemma, Proof)> {
     let mut out: Vec<(Lemma, Proof)> = Vec::new();
 

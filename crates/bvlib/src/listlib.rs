@@ -194,7 +194,6 @@ pub fn install(env: &mut Env) -> Result<(), (String, ProofError)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn ints(xs: &[i64]) -> Vec<BigInt> {
         xs.iter().map(|&x| BigInt::from(x)).collect()
@@ -236,32 +235,76 @@ mod tests {
         assert!(env.def("bitsum").is_some());
     }
 
-    proptest! {
-        #[test]
-        fn toz_update_lemma(xs in proptest::collection::vec(0i64..2, 1..20), i in 0usize..20, b in 0i64..2) {
-            // Lemma 1 (toZ_update), checked concretely: toZ(l.updated(i,v))
-            // == toZ(l) + (v - l(i)) * 2^i.
-            let i = i % xs.len();
-            let l = ints(&xs);
-            let upd = updated(&l, i, BigInt::from(b));
-            let expected = to_z(&l) + (BigInt::from(b) - &l[i]) * BigInt::pow2(i as u64);
-            prop_assert_eq!(to_z(&upd), expected);
-        }
+    /// The bit list encoding `pattern`'s low `len` bits (LSB first), the
+    /// deterministic replacement for random bit vectors: sweeping `pattern`
+    /// over `0..2^len` makes the checks below exhaustive per length.
+    fn bit_list(pattern: u64, len: usize) -> Vec<BigInt> {
+        (0..len).map(|i| BigInt::from((pattern >> i) & 1)).collect()
+    }
 
-        #[test]
-        fn toz_concat_splits(xs in proptest::collection::vec(0i64..2, 0..12),
-                             ys in proptest::collection::vec(0i64..2, 0..12)) {
-            // toZ(l ++ r) == toZ(l) + 2^len(l) * toZ(r).
-            let (l, r) = (ints(&xs), ints(&ys));
-            let whole = to_z(&concat(&l, &r));
-            prop_assert_eq!(whole, to_z(&l) + BigInt::pow2(l.len() as u64) * to_z(&r));
+    #[test]
+    fn toz_update_lemma_exhaustive() {
+        // Lemma 1 (toZ_update), checked concretely and exhaustively for all
+        // bit lists up to length 8, all indices, both bit values:
+        // toZ(l.updated(i,v)) == toZ(l) + (v - l(i)) * 2^i.
+        for len in 1..=8usize {
+            for pattern in 0..(1u64 << len) {
+                let l = bit_list(pattern, len);
+                for i in 0..len {
+                    for b in 0..2i64 {
+                        let upd = updated(&l, i, BigInt::from(b));
+                        let expected =
+                            to_z(&l) + (BigInt::from(b) - &l[i]) * BigInt::pow2(i as u64);
+                        assert_eq!(to_z(&upd), expected, "len={len} pat={pattern:b} i={i} b={b}");
+                    }
+                }
+            }
         }
+    }
 
-        #[test]
-        fn sum_concat_adds(xs in proptest::collection::vec(-50i64..50, 0..12),
-                           ys in proptest::collection::vec(-50i64..50, 0..12)) {
-            let (l, r) = (ints(&xs), ints(&ys));
-            prop_assert_eq!(sum(&concat(&l, &r)), sum(&l) + sum(&r));
+    #[test]
+    fn toz_concat_splits_exhaustive() {
+        // toZ(l ++ r) == toZ(l) + 2^len(l) * toZ(r), exhaustively over all
+        // bit-list pairs with both sides up to length 5.
+        for llen in 0..=5usize {
+            for rlen in 0..=5usize {
+                for lpat in 0..(1u64 << llen) {
+                    for rpat in 0..(1u64 << rlen) {
+                        let (l, r) = (bit_list(lpat, llen), bit_list(rpat, rlen));
+                        let whole = to_z(&concat(&l, &r));
+                        assert_eq!(
+                            whole,
+                            to_z(&l) + BigInt::pow2(l.len() as u64) * to_z(&r),
+                            "l={lpat:b}/{llen} r={rpat:b}/{rlen}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_concat_adds() {
+        // Deterministic value grid including negatives, empty lists, and
+        // mixed lengths.
+        let pool: Vec<Vec<i64>> = vec![
+            vec![],
+            vec![0],
+            vec![-50],
+            vec![49, -1],
+            vec![3, -7, 11],
+            vec![-50, 49, -50, 49],
+            vec![1, 2, 3, 4, 5, -15],
+        ];
+        for xs in &pool {
+            for ys in &pool {
+                let (l, r) = (ints(xs), ints(ys));
+                assert_eq!(
+                    sum(&concat(&l, &r)),
+                    sum(&l) + sum(&r),
+                    "xs={xs:?} ys={ys:?}"
+                );
+            }
         }
     }
 }

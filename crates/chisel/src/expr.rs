@@ -192,6 +192,10 @@ pub enum Expr {
     },
 }
 
+// Builder methods deliberately mirror Chisel's operator names (`not`,
+// `shl`, ...) rather than implementing the std::ops traits: they build IR
+// nodes, not values.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Unsigned literal of explicit width.
     pub fn lit_u(value: impl Into<PExpr>, width: impl Into<PExpr>) -> Expr {

@@ -1,0 +1,595 @@
+//! The differential engine: generates seeded random cases and drives every
+//! comparable semantic layer in lockstep, reporting the first divergence
+//! per design with a replayable seed and a shrunk counterexample.
+//!
+//! Layers:
+//!
+//! * [`Layer::Cosim`] — the Chisel IR reference interpreter
+//!   ([`chicala_chisel::Simulator`]) against the generated sequential
+//!   program ([`chicala_seq::SeqRunner`]), cycle by cycle over every
+//!   output and register (experiment E3).
+//! * [`Layer::Gates`] — concrete evaluation of the bit-blasted netlist
+//!   ([`chicala_lowlevel::unroll`]) against the interpreter at small
+//!   widths (validates the per-width baseline the paper compares against).
+//! * [`Layer::Spec`] — the final state after the design's full latency
+//!   against a pure mathematical specification (`a*b`, `n/d`, rotation,
+//!   popcount) from the registry.
+
+use crate::registry::{all_designs, Design, FinalState};
+use crate::rng::SplitMix64;
+use crate::shrink::shrink;
+use chicala_bigint::BigInt;
+use chicala_chisel::{elaborate, Bindings, ElabKind, ElabModule, Simulator};
+use chicala_core::transform;
+use chicala_lowlevel::{constant_word, unroll, Netlist, Word};
+use chicala_seq::{SValue, SeqRunner};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A comparable semantic layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Layer {
+    /// Interpreter vs generated sequential program, cycle by cycle.
+    Cosim,
+    /// Interpreter vs concrete gate-level evaluation (small widths).
+    Gates,
+    /// Final state vs mathematical specification.
+    Spec,
+}
+
+impl Layer {
+    /// All layers, in reporting order.
+    pub const ALL: [Layer; 3] = [Layer::Cosim, Layer::Gates, Layer::Spec];
+
+    /// Stable lower-case name (CLI `--layers` argument).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Cosim => "cosim",
+            Layer::Gates => "gates",
+            Layer::Spec => "spec",
+        }
+    }
+
+    /// Parses a layer name.
+    pub fn parse(s: &str) -> Option<Layer> {
+        Layer::ALL.into_iter().find(|l| l.name() == s)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One generated test case: the elaboration width, the number of cycles to
+/// run, and one value per declared input (in registry order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Case {
+    /// Elaboration width (`len`).
+    pub width: u64,
+    /// Clock cycles to simulate (ignored by [`Layer::Spec`], which always
+    /// runs the design's full latency).
+    pub cycles: u64,
+    /// Input values in `Design::inputs` order (masked to `width` bits by
+    /// the engine before driving any layer).
+    pub inputs: Vec<BigInt>,
+}
+
+impl Case {
+    /// Masks every input into `[0, 2^width)` and enforces the registry's
+    /// non-zero constraints, so all layers see identical legal stimuli.
+    pub fn normalized(&self, d: &Design) -> Case {
+        let inputs = d
+            .inputs
+            .iter()
+            .zip(&self.inputs)
+            .map(|(spec, v)| {
+                let v = v.to_unsigned(self.width);
+                if spec.nonzero && v.is_zero() {
+                    BigInt::one()
+                } else {
+                    v
+                }
+            })
+            .collect();
+        Case { width: self.width, cycles: self.cycles.max(1), inputs }
+    }
+
+    /// The input map keyed by port name.
+    pub fn input_map(&self, d: &Design) -> BTreeMap<String, BigInt> {
+        d.inputs
+            .iter()
+            .zip(&self.inputs)
+            .map(|(spec, v)| (spec.name.to_string(), v.clone()))
+            .collect()
+    }
+}
+
+impl fmt::Display for Case {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "width={} cycles={} inputs=[", self.width, self.cycles)?;
+        for (i, v) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Master seed; every case seed derives from it deterministically.
+    pub seed: u64,
+    /// Cases per design per layer.
+    pub cases: usize,
+    /// Width ceiling for case generation (the gate layer additionally caps
+    /// at each design's `gate_max_width`).
+    pub max_width: u64,
+    /// Layers to run.
+    pub layers: Vec<Layer>,
+    /// Stop a design's layer at the first divergence (soak runs may prefer
+    /// to keep going and report all of them).
+    pub stop_at_first: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            seed: crate::rng::seed_from_env(0xC1CA_1A00),
+            cases: 32,
+            max_width: 24,
+            layers: Layer::ALL.to_vec(),
+            stop_at_first: true,
+        }
+    }
+}
+
+/// A divergence between two layers, with everything needed to replay it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Registry name of the design.
+    pub design: String,
+    /// Layer pair that diverged.
+    pub layer: Layer,
+    /// Master seed of the run.
+    pub master_seed: u64,
+    /// Per-case seed: `replay_case(design, layer, case_seed, max_width)`
+    /// regenerates and re-checks exactly this case.
+    pub case_seed: u64,
+    /// Width cap the case was generated under (generation depends on it,
+    /// so replay must use the same value).
+    pub max_width: u64,
+    /// The case as generated.
+    pub case: Case,
+    /// The greedily minimized counterexample.
+    pub shrunk: Case,
+    /// First divergence description (layer, cycle, signal, both values).
+    pub message: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "conformance divergence: design `{}` layer `{}`", self.design, self.layer)?;
+        writeln!(f, "  {}", self.message)?;
+        writeln!(f, "  case   : {}", self.case)?;
+        writeln!(f, "  shrunk : {}", self.shrunk)?;
+        writeln!(f, "  seeds  : master=0x{:016X} case=0x{:016X}", self.master_seed, self.case_seed)?;
+        writeln!(
+            f,
+            "  replay : CHICALA_SEED=0x{:016X} cargo test -q --test conformance",
+            self.master_seed
+        )?;
+        write!(
+            f,
+            "           cargo run --release --example conformance -- --design {} --max-width {} --replay 0x{:016X}",
+            self.design, self.max_width, self.case_seed
+        )
+    }
+}
+
+/// Coverage counters for one (design, layer) cell of the summary table.
+#[derive(Clone, Debug, Default)]
+pub struct LayerStats {
+    /// Cases actually run (skipped cases — e.g. gate cases above the width
+    /// cap — are *not* counted, so truncation is visible).
+    pub cases: usize,
+    /// Cases skipped by caps.
+    pub skipped: usize,
+    /// Smallest width exercised.
+    pub min_width: u64,
+    /// Largest width exercised.
+    pub max_width: u64,
+    /// Total cycles simulated.
+    pub cycles: u64,
+}
+
+impl LayerStats {
+    fn record(&mut self, case: &Case, cycles_run: u64) {
+        if self.cases == 0 {
+            self.min_width = case.width;
+            self.max_width = case.width;
+        } else {
+            self.min_width = self.min_width.min(case.width);
+            self.max_width = self.max_width.max(case.width);
+        }
+        self.cases += 1;
+        self.cycles += cycles_run;
+    }
+}
+
+/// The outcome of an engine run: per-design/per-layer coverage plus every
+/// recorded divergence.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Coverage rows keyed by (design, layer).
+    pub stats: BTreeMap<(String, Layer), LayerStats>,
+    /// Divergences found.
+    pub failures: Vec<Failure>,
+}
+
+impl Report {
+    /// True when no layer diverged.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the per-design/per-layer coverage summary table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:<6} {:>6} {:>8} {:>10} {:>8}\n",
+            "design", "layer", "cases", "skipped", "widths", "cycles"
+        ));
+        for ((design, layer), st) in &self.stats {
+            let widths = if st.cases == 0 {
+                "-".to_string()
+            } else {
+                format!("{}..{}", st.min_width, st.max_width)
+            };
+            out.push_str(&format!(
+                "{:<10} {:<6} {:>6} {:>8} {:>10} {:>8}\n",
+                design,
+                layer.name(),
+                st.cases,
+                st.skipped,
+                widths,
+                st.cycles
+            ));
+        }
+        out
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Generates the case for `case_seed` (width, cycles, inputs), biased
+/// toward boundary values: extreme widths, all-ones/zero/one inputs.
+pub fn gen_case(d: &Design, case_seed: u64, max_width: u64) -> Case {
+    let mut rng = SplitMix64::new(case_seed);
+    let hi = max_width.max(d.min_width);
+    let width = match rng.below(8) {
+        0 => d.min_width,
+        1 => hi,
+        _ => rng.range(d.min_width, hi),
+    };
+    let latency = (d.latency)(width);
+    let cycles = match rng.below(4) {
+        0 => latency,
+        1 => rng.range(1, latency.max(1)),
+        _ => rng.range(1, latency + 4),
+    };
+    let inputs = d
+        .inputs
+        .iter()
+        .map(|_| match rng.below(8) {
+            0 => BigInt::zero(),
+            1 => BigInt::one(),
+            2 => BigInt::pow2(width) - BigInt::one(),
+            _ => rng.bits(width),
+        })
+        .collect();
+    Case { width, cycles, inputs }.normalized(d)
+}
+
+fn elab(d: &Design, width: u64) -> Result<ElabModule, String> {
+    let m = (d.build)();
+    let bindings: Bindings = [("len".to_string(), width as i64)].into_iter().collect();
+    elaborate(&m, &bindings).map_err(|e| format!("{}: elaboration at width {width}: {e}", d.name))
+}
+
+fn svalue_scalar(v: &SValue) -> Option<BigInt> {
+    match v {
+        SValue::Int(i) => Some(i.clone()),
+        SValue::Bool(b) => Some(BigInt::from(*b)),
+        SValue::List(_) => None,
+    }
+}
+
+/// Layer A: interpreter vs generated sequential program, cycle by cycle,
+/// over every output and every (scalar) register.
+fn check_cosim(d: &Design, case: &Case) -> Result<u64, String> {
+    let em = elab(d, case.width)?;
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).map_err(|e| e.to_string())?;
+    let hw_inputs = case.input_map(d);
+
+    let m = (d.build)();
+    let out = transform(&m).map_err(|e| format!("{}: transform: {e}", d.name))?;
+    let runner = SeqRunner::new(
+        &out.program,
+        [("len".to_string(), BigInt::from(case.width))].into_iter().collect(),
+    );
+    let sw_inputs: BTreeMap<String, SValue> = hw_inputs
+        .iter()
+        .map(|(k, v)| (k.clone(), SValue::Int(v.clone())))
+        .collect();
+    let mut sw_regs = runner.init_regs(&BTreeMap::new()).map_err(|e| e.to_string())?;
+
+    for cycle in 0..case.cycles {
+        let hw_out = sim.step(&hw_inputs).map_err(|e| e.to_string())?;
+        let sw = runner
+            .trans(&sw_inputs, &sw_regs)
+            .map_err(|e| format!("{}: sequential step failed at cycle {cycle}: {e}", d.name))?;
+        for (name, hv) in &hw_out {
+            let sv = sw
+                .outputs
+                .get(name)
+                .and_then(svalue_scalar)
+                .ok_or_else(|| format!("cycle {cycle}: output `{name}` missing from program"))?;
+            if *hv != sv {
+                return Err(format!(
+                    "cosim: cycle {cycle}: output `{name}`: interpreter={hv} program={sv}"
+                ));
+            }
+        }
+        for (name, svv) in &sw.regs {
+            let Some(sv) = svalue_scalar(svv) else { continue };
+            let hv = sim
+                .reg(name)
+                .ok_or_else(|| format!("cycle {cycle}: program register `{name}` unknown to interpreter"))?;
+            if *hv != sv {
+                return Err(format!(
+                    "cosim: cycle {cycle}: register `{name}`: interpreter={hv} program={sv}"
+                ));
+            }
+        }
+        sw_regs = sw.regs;
+    }
+    Ok(case.cycles)
+}
+
+/// Layer B: interpreter vs concrete evaluation of the bit-blasted netlist
+/// (inputs baked in as constants), comparing every register after the run.
+fn check_gates(d: &Design, case: &Case) -> Result<u64, String> {
+    let em = elab(d, case.width)?;
+    let hw_inputs = case.input_map(d);
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).map_err(|e| e.to_string())?;
+    for _ in 0..case.cycles {
+        sim.step(&hw_inputs).map_err(|e| e.to_string())?;
+    }
+
+    let mut kit = Netlist::new();
+    let mut inputs: BTreeMap<String, Word<chicala_lowlevel::Net>> = BTreeMap::new();
+    for s in &em.signals {
+        if s.kind == ElabKind::Input {
+            let val = hw_inputs.get(&s.name).cloned().unwrap_or_else(BigInt::zero);
+            inputs.insert(
+                s.name.clone(),
+                constant_word(&mut kit, &val, s.width as usize, s.signed),
+            );
+        }
+    }
+    let st = unroll(&em, &mut kit, &inputs, &BTreeMap::new(), case.cycles as usize)
+        .map_err(|e| format!("gates: unroll: {e}"))?;
+    let values = kit.eval(&|_| false);
+    for (name, word) in &st.regs {
+        let mut got = BigInt::zero();
+        for (i, bit) in word.bits.iter().enumerate() {
+            if values[bit.0 as usize] {
+                got = got + BigInt::pow2(i as u64);
+            }
+        }
+        let want = sim
+            .reg(name)
+            .ok_or_else(|| format!("gates: netlist register `{name}` unknown to interpreter"))?
+            .to_unsigned(word.bits.len() as u64);
+        if got != want {
+            return Err(format!(
+                "gates: after {} cycles: register `{name}`: interpreter={want} netlist={got}",
+                case.cycles
+            ));
+        }
+    }
+    Ok(case.cycles)
+}
+
+/// Runs the interpreter for the design's full latency and returns the
+/// observable final state (used by the spec layer and by callers wanting
+/// end-to-end results).
+pub fn final_state(d: &Design, case: &Case) -> Result<FinalState, String> {
+    let em = elab(d, case.width)?;
+    let mut sim = Simulator::new(&em, &BTreeMap::new()).map_err(|e| e.to_string())?;
+    let hw_inputs = case.input_map(d);
+    let latency = (d.latency)(case.width);
+    let mut outputs = BTreeMap::new();
+    for _ in 0..latency {
+        outputs = sim.step(&hw_inputs).map_err(|e| e.to_string())?;
+    }
+    Ok(FinalState { regs: sim.regs().clone(), outputs })
+}
+
+/// Layer C: final state after the full latency vs the mathematical spec.
+fn check_spec(d: &Design, case: &Case) -> Result<u64, String> {
+    let fin = final_state(d, case)?;
+    (d.spec)(case.width, &case.input_map(d), &fin)
+        .map_err(|e| format!("spec: after {} cycles: {e}", (d.latency)(case.width)))?;
+    Ok((d.latency)(case.width))
+}
+
+/// Checks one case against one layer. Returns the number of cycles
+/// simulated, or the first divergence.
+pub fn check_case(d: &Design, layer: Layer, case: &Case) -> Result<u64, String> {
+    let case = case.normalized(d);
+    match layer {
+        Layer::Cosim => check_cosim(d, &case),
+        Layer::Gates => check_gates(d, &case),
+        Layer::Spec => check_spec(d, &case),
+    }
+}
+
+/// [`gen_case`] plus the per-layer adjustments the runner applies: the
+/// gate layer bounds cycles so the unrolled netlist stays affordable.
+/// Replay must regenerate through here to reproduce the exact case run.
+pub fn gen_case_for(d: &Design, layer: Layer, case_seed: u64, max_width: u64) -> Case {
+    let mut case = gen_case(d, case_seed, max_width);
+    if layer == Layer::Gates {
+        case.cycles = case.cycles.min((d.latency)(case.width) + 2);
+    }
+    case
+}
+
+/// Regenerates the case for `case_seed` and re-checks it — the one-line
+/// replay path printed in every failure. `max_width` must match the cap
+/// the case was generated under (a failure's `max_width` field).
+pub fn replay_case(d: &Design, layer: Layer, case_seed: u64, max_width: u64) -> Result<u64, String> {
+    let case = gen_case_for(d, layer, case_seed, max_width);
+    check_case(d, layer, &case)
+}
+
+/// Runs one design through the configured layers.
+pub fn run_design(d: &Design, cfg: &Config) -> Report {
+    let mut report = Report::default();
+    // Per-design stream: independent of registry order and of how many
+    // cases other designs consumed, so any (design, case_seed) replays in
+    // isolation.
+    let mut rng = SplitMix64::new(cfg.seed ^ fnv1a(d.name));
+    for &layer in &cfg.layers {
+        let stats = report
+            .stats
+            .entry((d.name.to_string(), layer))
+            .or_default();
+        for _ in 0..cfg.cases {
+            let case_seed = rng.next_u64();
+            let width_cap = match layer {
+                Layer::Gates => cfg.max_width.min(d.gate_max_width),
+                _ => cfg.max_width,
+            };
+            let case = gen_case_for(d, layer, case_seed, width_cap);
+            if layer == Layer::Gates && case.width > d.gate_max_width {
+                stats.skipped += 1;
+                continue;
+            }
+            match check_case(d, layer, &case) {
+                Ok(cycles) => stats.record(&case, cycles),
+                Err(message) => {
+                    let shrunk = shrink(d, layer, &case);
+                    report.failures.push(Failure {
+                        design: d.name.to_string(),
+                        layer,
+                        master_seed: cfg.seed,
+                        case_seed,
+                        max_width: width_cap,
+                        case,
+                        shrunk,
+                        message,
+                    });
+                    if cfg.stop_at_first {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Runs every registered design through every configured layer.
+pub fn run_all(cfg: &Config) -> Report {
+    let mut report = Report::default();
+    for d in all_designs() {
+        let r = run_design(&d, cfg);
+        report.stats.extend(r.stats);
+        report.failures.extend(r.failures);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Design;
+
+    #[test]
+    fn case_normalization_masks_and_fixes_zero_divisor() {
+        let d = Design::by_name("rdiv").expect("registered");
+        let case = Case {
+            width: 4,
+            cycles: 0,
+            inputs: vec![BigInt::from(0xFFu64), BigInt::from(16u64)],
+        };
+        let n = case.normalized(&d);
+        assert_eq!(n.cycles, 1, "at least one cycle");
+        assert_eq!(n.inputs[0], BigInt::from(0xFu64), "masked to width");
+        assert_eq!(n.inputs[1], BigInt::one(), "16 mod 16 = 0 -> forced non-zero");
+    }
+
+    #[test]
+    fn gen_case_is_deterministic_and_legal() {
+        let d = Design::by_name("xdiv").expect("registered");
+        for seed in [0u64, 1, 0xDEADBEEF] {
+            let a = gen_case(&d, seed, 16);
+            let b = gen_case(&d, seed, 16);
+            assert_eq!(a, b, "same seed, same case");
+            assert!(a.width >= d.min_width && a.width <= 16);
+            assert!(a.cycles >= 1);
+            assert!(!a.inputs[1].is_zero(), "divisor non-zero");
+        }
+    }
+
+    #[test]
+    fn single_known_case_passes_every_layer() {
+        let d = Design::by_name("rmul").expect("registered");
+        let case = Case {
+            width: 4,
+            cycles: 5,
+            inputs: vec![BigInt::from(11u64), BigInt::from(13u64)],
+        };
+        for layer in Layer::ALL {
+            check_case(&d, layer, &case)
+                .unwrap_or_else(|e| panic!("layer {layer}: {e}"));
+        }
+    }
+
+    #[test]
+    fn spec_layer_detects_a_wrong_spec() {
+        // A spec that demands acc == a*b + 1 must be reported as divergent:
+        // the engine's failure path (not just its success path) works.
+        fn bad_spec(
+            _w: u64,
+            _ins: &BTreeMap<String, BigInt>,
+            fin: &FinalState,
+        ) -> Result<(), String> {
+            let got = fin.regs.get("acc").expect("acc exists");
+            let want = got + BigInt::one();
+            Err(format!("forced: got {got}, want {want}"))
+        }
+        let mut d = Design::by_name("rmul").expect("registered");
+        d.spec = bad_spec;
+        let case = Case {
+            width: 3,
+            cycles: 4,
+            inputs: vec![BigInt::from(5u64), BigInt::from(6u64)],
+        };
+        assert!(check_case(&d, Layer::Spec, &case).is_err());
+    }
+}

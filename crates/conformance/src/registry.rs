@@ -1,0 +1,229 @@
+//! The design registry: every case-study design, described uniformly
+//! enough that the differential engine can drive all comparable layers
+//! without per-design code. Adding an entry to [`all_designs`] enrolls the
+//! design in every conformance check (library, integration test, and CLI).
+
+use chicala_bigint::BigInt;
+use chicala_chisel::Module;
+use std::collections::BTreeMap;
+
+/// One input port of a design, with generation constraints.
+#[derive(Clone, Copy, Debug)]
+pub struct InputSpec {
+    /// Port name (e.g. `io_a`).
+    pub name: &'static str,
+    /// Must be non-zero (divisors).
+    pub nonzero: bool,
+}
+
+/// Register and output values observed after the design's full run.
+#[derive(Clone, Debug)]
+pub struct FinalState {
+    /// Register values (unsigned views) after the last cycle.
+    pub regs: BTreeMap<String, BigInt>,
+    /// Output values of the last cycle.
+    pub outputs: BTreeMap<String, BigInt>,
+}
+
+/// A pure mathematical specification: given the elaboration width and the
+/// (width-masked) inputs, decide whether the final state is the correct
+/// answer. Returns a divergence description on failure.
+pub type SpecFn = fn(u64, &BTreeMap<String, BigInt>, &FinalState) -> Result<(), String>;
+
+/// A registered design: everything the engine needs to drive the Chisel
+/// interpreter, the generated sequential program, the gate-level baseline,
+/// and the mathematical spec in lockstep.
+pub struct Design {
+    /// Registry key (CLI `--design` argument).
+    pub name: &'static str,
+    /// Builds the Chisel-subset module.
+    pub build: fn() -> Module,
+    /// Input ports in generation order.
+    pub inputs: &'static [InputSpec],
+    /// Smallest width the design elaborates at.
+    pub min_width: u64,
+    /// Width cap for the (exponentially priced) gate-level layer.
+    pub gate_max_width: u64,
+    /// Cycles from reset until the result registers hold the final answer
+    /// (inputs held constant, run started from the ready state).
+    pub latency: fn(u64) -> u64,
+    /// The mathematical answer check at `latency` cycles.
+    pub spec: SpecFn,
+}
+
+impl Design {
+    /// Looks up a registered design by name.
+    pub fn by_name(name: &str) -> Option<Design> {
+        all_designs().into_iter().find(|d| d.name == name)
+    }
+}
+
+fn reg<'a>(fin: &'a FinalState, name: &str) -> Result<&'a BigInt, String> {
+    fin.regs.get(name).ok_or_else(|| format!("final state has no register `{name}`"))
+}
+
+fn input<'a>(ins: &'a BTreeMap<String, BigInt>, name: &str) -> &'a BigInt {
+    ins.get(name).expect("engine supplies every declared input")
+}
+
+fn expect_eq(what: &str, got: &BigInt, want: &BigInt) -> Result<(), String> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("{what}: got {got}, spec says {want}"))
+    }
+}
+
+fn rotate_spec(_w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
+    // After 1 + len cycles the register has rotated all the way around and
+    // regained the input (the paper's §2 running example).
+    expect_eq("rotate R", reg(fin, "R")?, input(ins, "io_in"))
+}
+
+fn popcount_spec(_w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
+    let want = BigInt::from(input(ins, "io_in").count_ones());
+    let got = fin
+        .outputs
+        .get("io_out")
+        .ok_or_else(|| "final state has no output `io_out`".to_string())?;
+    expect_eq("popcount io_out", got, &want)
+}
+
+fn rmul_spec(_w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
+    let want = input(ins, "io_a") * input(ins, "io_b");
+    expect_eq("rmul acc", reg(fin, "acc")?, &want)
+}
+
+fn xmul_spec(w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
+    // Carry-save accumulator: the product is the sum of the two halves,
+    // reduced to the accumulator width 2*len + 2.
+    let want = input(ins, "io_a") * input(ins, "io_b");
+    let sum = (reg(fin, "acc_s")? + reg(fin, "acc_c")?).mod_floor(&BigInt::pow2(2 * w + 2));
+    expect_eq("xmul acc_s + acc_c", &sum, &want)
+}
+
+fn rdiv_spec(_w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
+    let (n, d) = (input(ins, "io_n"), input(ins, "io_d"));
+    expect_eq("rdiv quot", reg(fin, "quot")?, &n.div_floor(d))?;
+    expect_eq("rdiv rem", reg(fin, "rem")?, &n.mod_floor(d))
+}
+
+fn xdiv_spec(w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
+    // The X-divider packs remainder above quotient in one shift register:
+    // shiftReg = rem * 2^(len+1) + quot.
+    let (n, d) = (input(ins, "io_n"), input(ins, "io_d"));
+    let s = reg(fin, "shiftReg")?;
+    let half = BigInt::pow2(w + 1);
+    expect_eq("xdiv quot (shiftReg low half)", &s.mod_floor(&half), &n.div_floor(d))?;
+    expect_eq("xdiv rem (shiftReg high half)", &s.div_floor(&half), &n.mod_floor(d))
+}
+
+/// All registered designs. The single enrollment point: every conformance
+/// surface (library runs, `tests/conformance.rs`, the CLI soak) iterates
+/// this list.
+pub fn all_designs() -> Vec<Design> {
+    vec![
+        Design {
+            name: "rotate",
+            build: chicala_designs::rotate::module,
+            inputs: &[InputSpec { name: "io_in", nonzero: false }],
+            // At len=1 the body's `R(len-1, 1)` extract is empty — the
+            // design (like the original Chisel) needs at least 2 bits.
+            min_width: 2,
+            gate_max_width: 10,
+            latency: |w| w + 1,
+            spec: rotate_spec,
+        },
+        Design {
+            name: "popcount",
+            build: chicala_designs::popcount::module,
+            inputs: &[InputSpec { name: "io_in", nonzero: false }],
+            min_width: 1,
+            gate_max_width: 10,
+            latency: |_| 1,
+            spec: popcount_spec,
+        },
+        Design {
+            name: "rmul",
+            build: chicala_designs::rmul::module,
+            inputs: &[
+                InputSpec { name: "io_a", nonzero: false },
+                InputSpec { name: "io_b", nonzero: false },
+            ],
+            min_width: 1,
+            gate_max_width: 8,
+            latency: |w| w + 1,
+            spec: rmul_spec,
+        },
+        Design {
+            name: "xmul",
+            build: chicala_designs::xmul::module,
+            inputs: &[
+                InputSpec { name: "io_a", nonzero: false },
+                InputSpec { name: "io_b", nonzero: false },
+            ],
+            min_width: 1,
+            gate_max_width: 6,
+            // Radix-4: one digit per cycle after the latch cycle.
+            latency: |w| w / 2 + 2,
+            spec: xmul_spec,
+        },
+        Design {
+            name: "rdiv",
+            build: chicala_designs::rdiv::module,
+            inputs: &[
+                InputSpec { name: "io_n", nonzero: false },
+                InputSpec { name: "io_d", nonzero: true },
+            ],
+            min_width: 1,
+            gate_max_width: 8,
+            latency: |w| w + 1,
+            spec: rdiv_spec,
+        },
+        Design {
+            name: "xdiv",
+            build: chicala_designs::xdiv::module,
+            inputs: &[
+                InputSpec { name: "io_n", nonzero: false },
+                InputSpec { name: "io_d", nonzero: true },
+            ],
+            min_width: 1,
+            gate_max_width: 6,
+            latency: |w| w + 1,
+            spec: xdiv_spec,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_well_formed() {
+        let designs = all_designs();
+        assert!(designs.len() >= 6, "all case studies enrolled");
+        let mut names: Vec<_> = designs.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), designs.len(), "names unique");
+        for d in &designs {
+            let m = (d.build)();
+            for spec in d.inputs {
+                assert!(
+                    m.decl(spec.name).is_some(),
+                    "{}: input `{}` not declared by module",
+                    d.name,
+                    spec.name
+                );
+            }
+            assert!((d.latency)(4) >= 1, "{}: latency must be positive", d.name);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(Design::by_name("xmul").is_some());
+        assert!(Design::by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,101 @@
+//! Committed regression seeds: every failure found by a soak run is
+//! recorded as a `(design, layer, case_seed, max_width)` line in
+//! `proptest-regressions/conformance.txt` (kept in the proptest-style
+//! location and spirit: a plain-text, diff-friendly corpus replayed before
+//! any random exploration). The file is embedded at compile time so tests
+//! replay it regardless of the working directory.
+
+use crate::engine::{replay_case, Layer};
+use crate::registry::Design;
+
+/// The embedded regression corpus.
+pub const CORPUS: &str = include_str!("../../../proptest-regressions/conformance.txt");
+
+/// One parsed regression entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Regression {
+    /// Registry name of the design.
+    pub design: String,
+    /// Layer the divergence was seen on.
+    pub layer: Layer,
+    /// Per-case seed (regenerates the exact case).
+    pub case_seed: u64,
+    /// Width cap the case was generated under.
+    pub max_width: u64,
+}
+
+/// Parses the corpus format: `cc <design> <layer> <case-seed-hex> <max-width>`
+/// per line; `#` starts a comment. Malformed lines are reported, not
+/// skipped silently.
+pub fn parse(corpus: &str) -> Result<Vec<Regression>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in corpus.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let err = |what: &str| format!("regression line {}: {what}: {line:?}", lineno + 1);
+        if fields.len() != 5 || fields[0] != "cc" {
+            return Err(err("expected `cc <design> <layer> <seed-hex> <max-width>`"));
+        }
+        let layer = Layer::parse(fields[2]).ok_or_else(|| err("unknown layer"))?;
+        let seed = fields[3]
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| err("seed must be 0x-prefixed hex"))?;
+        let max_width = fields[4].parse().map_err(|_| err("bad max-width"))?;
+        out.push(Regression {
+            design: fields[1].to_string(),
+            layer,
+            case_seed: seed,
+            max_width,
+        });
+    }
+    Ok(out)
+}
+
+/// Replays every committed regression; returns the failures (empty when
+/// the corpus is green).
+pub fn replay_all() -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+    for r in parse(CORPUS)? {
+        let d = Design::by_name(&r.design)
+            .ok_or_else(|| format!("regression names unknown design `{}`", r.design))?;
+        if let Err(e) = replay_case(&d, r.layer, r.case_seed, r.max_width) {
+            failures.push(format!(
+                "{} {} case=0x{:016X}: {e}",
+                r.design,
+                r.layer,
+                r.case_seed
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses() {
+        let regs = parse(CORPUS).expect("committed corpus is well-formed");
+        for r in &regs {
+            assert!(
+                Design::by_name(&r.design).is_some(),
+                "regression for unregistered design `{}`",
+                r.design
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("cc xmul cosim 0x12 16").is_ok());
+        assert!(parse("cc xmul cosim 18 16").is_err(), "decimal seed rejected");
+        assert!(parse("cc xmul nope 0x12 16").is_err(), "unknown layer rejected");
+        assert!(parse("xmul cosim 0x12 16").is_err(), "missing cc tag rejected");
+        assert!(parse("# comment\n\n").unwrap().is_empty());
+    }
+}

@@ -1,12 +1,17 @@
-//! Co-simulation: the generated sequential program must agree, cycle by
-//! cycle, with the Chisel IR's reference interpreter (the paper's
-//! future-work validation, experiment E3).
+//! Co-simulation of the rotate running example: the generated sequential
+//! program must agree, cycle by cycle, with the Chisel IR's reference
+//! interpreter (the paper's future-work validation, experiment E3).
+//!
+//! Random-stimulus coverage lives in the conformance engine
+//! (`crates/conformance`); this file keeps what the engine cannot express:
+//! the transformation-*option* ablations (`reorder`, `merge`), which need
+//! `transform_with` rather than the default pipeline.
 
 use chicala_bigint::BigInt;
 use chicala_chisel::{elaborate, examples::rotate_example, Simulator};
+use chicala_conformance::{check_case, Design, Layer, SplitMix64};
 use chicala_core::{transform_with, TransformOptions};
 use chicala_seq::{SValue, SeqRunner};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn svalue_to_int(v: &SValue) -> BigInt {
@@ -17,16 +22,19 @@ fn svalue_to_int(v: &SValue) -> BigInt {
     }
 }
 
-/// Runs both semantics for `cycles` cycles and compares outputs and
-/// registers after every cycle. Returns Err(description) on mismatch.
+/// Runs both semantics for `cycles` cycles under explicit transform
+/// options and compares outputs and registers after every cycle. The
+/// conformance engine always uses the default options, so the ablations
+/// below need this local driver.
 fn cosim_rotate(len: i64, input: u64, cycles: usize, opts: TransformOptions) -> Result<(), String> {
     let m = rotate_example();
     // Hardware reference.
     let bindings: chicala_chisel::Bindings = [("len".to_string(), len)].into_iter().collect();
     let em = elaborate(&m, &bindings).map_err(|e| e.to_string())?;
     let mut sim = Simulator::new(&em, &BTreeMap::new()).map_err(|e| e.to_string())?;
+    let masked = BigInt::from(input).to_unsigned(len as u64);
     let hw_inputs: BTreeMap<String, BigInt> =
-        [("io_in".to_string(), BigInt::from(input))].into_iter().collect();
+        [("io_in".to_string(), masked.clone())].into_iter().collect();
 
     // Generated software simulator.
     let out = transform_with(&m, opts).map_err(|e| e.to_string())?;
@@ -35,9 +43,7 @@ fn cosim_rotate(len: i64, input: u64, cycles: usize, opts: TransformOptions) -> 
         [("len".to_string(), BigInt::from(len))].into_iter().collect(),
     );
     let sw_inputs: BTreeMap<String, SValue> =
-        [("io_in".to_string(), SValue::Int(BigInt::from(input & ((1u64 << len) - 1))))]
-            .into_iter()
-            .collect();
+        [("io_in".to_string(), SValue::Int(masked))].into_iter().collect();
     let mut sw_regs = runner.init_regs(&BTreeMap::new()).map_err(|e| e.to_string())?;
 
     for cycle in 0..cycles {
@@ -84,24 +90,31 @@ fn rotate_disagrees_without_reordering() {
     assert!(any_mismatch, "reordering ablation should break co-simulation");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn rotate_cosim_random(len in 2i64..32, input in any::<u64>(), cycles in 1usize..80) {
-        let masked = input & ((1u64 << len) - 1);
-        if let Err(e) = cosim_rotate(len, masked, cycles, TransformOptions::default()) {
-            prop_assert!(false, "{e}");
-        }
+/// Random-stimulus cosim for rotate, driven through the conformance
+/// engine's case generator and checker (replacing the old in-file
+/// proptest loop; the engine owns seeds, masks, and shrinking).
+#[test]
+fn rotate_cosim_random() {
+    let d = Design::by_name("rotate").expect("registered");
+    let mut rng = SplitMix64::new(chicala_conformance::seed_from_env(0x0C41_707A));
+    for i in 0..48 {
+        let case_seed = rng.next_u64();
+        let case = chicala_conformance::gen_case(&d, case_seed, 32);
+        check_case(&d, Layer::Cosim, &case)
+            .unwrap_or_else(|e| panic!("case {i} (seed 0x{case_seed:016X}): {e}"));
     }
+}
 
-    #[test]
-    fn rotate_cosim_merge_ablation(len in 2i64..16, input in any::<u64>()) {
-        // Disabling merging must NOT change semantics (only code shape).
-        let masked = input & ((1u64 << len) - 1);
+/// Disabling merging must NOT change semantics (only code shape): the
+/// merge-ablation cosim, over seeded random widths and inputs.
+#[test]
+fn rotate_cosim_merge_ablation() {
+    let mut rng = SplitMix64::new(chicala_conformance::seed_from_env(0x4D45_5247));
+    for i in 0..32 {
+        let len = rng.range(2, 16) as i64;
+        let input = rng.next_u64();
         let opts = TransformOptions { merge: false, ..Default::default() };
-        if let Err(e) = cosim_rotate(len, masked, 2 * len as usize + 2, opts) {
-            prop_assert!(false, "{e}");
-        }
+        cosim_rotate(len, input, 2 * len as usize + 2, opts)
+            .unwrap_or_else(|e| panic!("case {i}: {e}"));
     }
 }

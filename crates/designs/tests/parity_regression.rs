@@ -2,13 +2,11 @@
 //! the parity-propagation pattern that required Gaussian equality
 //! substitution in the linear core.
 
-use chicala_verify::{Env, Formula, Term};
+use chicala_verify::{Env, Term};
 
 fn v(n: &str) -> Term { Term::var(n) }
 fn t(x: i64) -> Term { Term::int(x) }
-fn band(a: Term, b: Term) -> Term { Term::BitAnd(Box::new(a), Box::new(b)) }
 fn bor(a: Term, b: Term) -> Term { Term::BitOr(Box::new(a), Box::new(b)) }
-fn bxor(a: Term, b: Term) -> Term { Term::BitXor(Box::new(a), Box::new(b)) }
 
 #[test]
 fn or_parity_micro() {

@@ -319,8 +319,8 @@ impl<'m, K: BitKit> Blaster<'m, K> {
                 let ae = extend(kit, &a, wmax);
                 let mut carry = kit.constant(true);
                 let mut bits = Vec::with_capacity(wmax);
-                for i in 0..wmax {
-                    let (s, c) = kit.full_add(ae.bits[i].clone(), inv[i].clone(), carry);
+                for (i, nb) in inv.iter().enumerate().take(wmax) {
+                    let (s, c) = kit.full_add(ae.bits[i].clone(), nb.clone(), carry);
                     bits.push(s);
                     carry = c;
                 }
@@ -559,8 +559,8 @@ fn less_than<K: BitKit>(kit: &mut K, x: &Word<K::Bit>, y: &Word<K::Bit>, signed:
     let inv: Vec<K::Bit> = ye.bits.iter().map(|b| kit.not(b.clone())).collect();
     let mut carry = kit.constant(true);
     let mut last = kit.constant(false);
-    for i in 0..w {
-        let (s, c) = kit.full_add(xe.bits[i].clone(), inv[i].clone(), carry);
+    for (i, nb) in inv.iter().enumerate().take(w) {
+        let (s, c) = kit.full_add(xe.bits[i].clone(), nb.clone(), carry);
         carry = c;
         last = s;
     }
@@ -607,8 +607,8 @@ fn divide<K: BitKit>(
             let inv: Vec<K::Bit> = be.bits.iter().map(|x| kit.not(x.clone())).collect();
             let mut carry = kit.constant(true);
             let mut bits = Vec::with_capacity(rw);
-            for j in 0..rw {
-                let (s, c) = kit.full_add(rem.bits[j].clone(), inv[j].clone(), carry);
+            for (j, nb) in inv.iter().enumerate().take(rw) {
+                let (s, c) = kit.full_add(rem.bits[j].clone(), nb.clone(), carry);
                 bits.push(s);
                 carry = c;
             }

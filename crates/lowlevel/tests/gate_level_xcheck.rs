@@ -1,91 +1,30 @@
 //! Gate-level cross-check: the bit-blasted netlist of every design
 //! computes the same values as the word-level interpreter, cycle by cycle.
 //! This validates the bit-blaster (and hence the BDD baseline built on it).
+//!
+//! A thin caller into the conformance engine's gate layer
+//! (`crates/conformance`), which owns case generation, width caps for the
+//! exponentially priced netlist unroll, shrinking, and seed replay.
 
-use chicala_bigint::BigInt;
-use chicala_chisel::{elaborate, Bindings, ElabKind, Simulator};
-use chicala_lowlevel::{unroll, Netlist, Word};
-use proptest::prelude::*;
-use std::collections::BTreeMap;
+use chicala_conformance::{self as conformance, Config, Layer};
 
-/// Runs `cycles` ticks through both back-ends and compares every register.
-fn xcheck(
-    module: &chicala_chisel::Module,
-    len: i64,
-    input_vals: &[(&str, u64)],
-    cycles: usize,
-) -> Result<(), TestCaseError> {
-    let bindings: Bindings = [("len".to_string(), len)].into_iter().collect();
-    let em = elaborate(module, &bindings).expect("elaborates");
-    let mask = if len >= 64 { u64::MAX } else { (1u64 << len) - 1 };
-
-    // Word-level interpreter.
-    let mut sim = Simulator::new(&em, &BTreeMap::new()).expect("constructs");
-    let hw_inputs: BTreeMap<String, BigInt> = input_vals
-        .iter()
-        .map(|(k, v)| (k.to_string(), BigInt::from(v & mask)))
-        .collect();
-    for _ in 0..cycles {
-        sim.step(&hw_inputs).expect("steps");
+#[test]
+fn gates_match_interpreter_all_designs() {
+    let cfg = Config {
+        layers: vec![Layer::Gates],
+        cases: 16,
+        // Per-design `gate_max_width` caps apply on top of this; the
+        // summary table reports skipped cases so the truncation is visible.
+        max_width: 12,
+        ..Config::default()
+    };
+    let report = conformance::run_all(&cfg);
+    println!("{}", report.summary_table());
+    for f in &report.failures {
+        eprintln!("{f}");
     }
-
-    // Gate level: constant input words (the values are baked in as
-    // constants, so the unrolled netlist is fully evaluable).
-    let mut kit = Netlist::new();
-    let mut inputs: BTreeMap<String, Word<chicala_lowlevel::Net>> = BTreeMap::new();
-    for s in &em.signals {
-        if s.kind == ElabKind::Input {
-            let val = hw_inputs.get(&s.name).cloned().unwrap_or_else(BigInt::zero);
-            inputs.insert(
-                s.name.clone(),
-                chicala_lowlevel::constant_word(&mut kit, &val, s.width as usize, s.signed),
-            );
-        }
-    }
-    let st = unroll(&em, &mut kit, &inputs, &BTreeMap::new(), cycles).expect("unrolls");
-    let values = kit.eval(&|_| false);
-    for (name, word) in &st.regs {
-        let mut got = BigInt::zero();
-        for (i, bit) in word.bits.iter().enumerate() {
-            if values[bit.0 as usize] {
-                got = got + BigInt::pow2(i as u64);
-            }
-        }
-        let want = sim.reg(name).expect("register").to_unsigned(word.bits.len() as u64);
-        prop_assert_eq!(got, want, "{} reg {} at len={}", module.name, name, len);
-    }
-    Ok(())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn rmul_gates_match_interpreter(len in 1i64..10, a in any::<u64>(), b in any::<u64>(),
-                                    cycles in 1usize..14) {
-        xcheck(&chicala_designs::rmul::module(), len, &[("io_a", a), ("io_b", b)], cycles)?;
-    }
-
-    #[test]
-    fn rdiv_gates_match_interpreter(len in 1i64..10, n in any::<u64>(), d in 1u64..200,
-                                    cycles in 1usize..14) {
-        xcheck(&chicala_designs::rdiv::module(), len, &[("io_n", n), ("io_d", d)], cycles)?;
-    }
-
-    #[test]
-    fn xdiv_gates_match_interpreter(len in 1i64..8, n in any::<u64>(), d in 1u64..100,
-                                    cycles in 1usize..12) {
-        xcheck(&chicala_designs::xdiv::module(), len, &[("io_n", n), ("io_d", d)], cycles)?;
-    }
-
-    #[test]
-    fn xmul_gates_match_interpreter(len in 1i64..8, a in any::<u64>(), b in any::<u64>(),
-                                    cycles in 1usize..10) {
-        xcheck(&chicala_designs::xmul::module(), len, &[("io_a", a), ("io_b", b)], cycles)?;
-    }
-
-    #[test]
-    fn rotate_gates_match_interpreter(len in 2i64..12, x in any::<u64>(), cycles in 1usize..20) {
-        xcheck(&chicala_chisel::examples::rotate_example(), len, &[("io_in", x)], cycles)?;
+    assert!(report.ok(), "{} gate-level divergence(s)", report.failures.len());
+    for ((design, layer), st) in &report.stats {
+        assert!(st.cases > 0, "no gate cases ran for {design}/{layer}");
     }
 }

@@ -190,6 +190,10 @@ pub enum SExpr {
     Call(String, Vec<SExpr>),
 }
 
+// Builder methods deliberately mirror the generated program's operator
+// names (`add`, `not`, ...) rather than implementing the std::ops traits:
+// they build AST nodes, not values.
+#[allow(clippy::should_implement_trait)]
 impl SExpr {
     /// Integer constant.
     pub fn int(v: impl Into<BigInt>) -> SExpr {

@@ -377,8 +377,8 @@ impl Env {
                     .get(func)
                     .ok_or_else(|| err(format!("unknown function `{func}`"), goal))?;
                 let goal2 = unfold_formula(goal, def);
-                let mut hyps2: Vec<Formula> = hyps.iter().map(|h| unfold_formula(h, def)).collect();
-                self.auto(&mut hyps2, &goal2)
+                let hyps2: Vec<Formula> = hyps.iter().map(|h| unfold_formula(h, def)).collect();
+                self.auto(&hyps2, &goal2)
             }
         }
     }
@@ -387,7 +387,7 @@ impl Env {
         &self,
         name: &str,
         args: &[Term],
-        hyps: &mut Vec<Formula>,
+        hyps: &[Formula],
         goal: &Formula,
     ) -> Result<Formula, ProofError> {
         let lemma = self
@@ -419,7 +419,7 @@ impl Env {
     #[allow(clippy::too_many_arguments)]
     fn check_induction(
         &self,
-        hyps: &mut Vec<Formula>,
+        hyps: &[Formula],
         goal: &Formula,
         var: &str,
         base: i64,
@@ -1769,10 +1769,14 @@ fn bound_products(atoms: &mut AtomTable, cons: &mut Vec<LinCon>) -> bool {
 /// growing into unrelated atoms. This closes goals like
 /// `n*(a/(m*n)) <= a/m`, where a linear relation must be scaled by a
 /// symbolic positive quantity.
+/// Canonical signature of a derived product constraint: sorted coefficient
+/// vector, constant offset, and the scaled atom's index.
+type ProductSig = (Vec<(usize, BigInt)>, BigInt, usize);
+
 fn ineq_atom_products(
     atoms: &mut AtomTable,
     cons: &mut Vec<LinCon>,
-    seen: &mut std::collections::BTreeSet<(Vec<(usize, BigInt)>, BigInt, usize)>,
+    seen: &mut std::collections::BTreeSet<ProductSig>,
 ) -> bool {
     // Constant lower bounds per atom (from single-atom constraints).
     let mut lower: BTreeMap<usize, BigInt> = BTreeMap::new();

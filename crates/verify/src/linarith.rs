@@ -161,9 +161,9 @@ fn refute_inner(cons: Vec<LinCon>, budget: usize) -> Refutation {
         })
         .collect::<Option<Vec<FastCon>>>()
     {
-        match refute_fast(fast, budget) {
-            Some(r) => return r,
-            None => {} // overflow: fall through to the BigInt path
+        // On overflow (None) fall through to the BigInt path.
+        if let Some(r) = refute_fast(fast, budget) {
+            return r;
         }
     }
     refute_big(cons, budget)

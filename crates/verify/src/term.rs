@@ -65,6 +65,10 @@ pub enum Formula {
     Implies(Box<Formula>, Box<Formula>),
 }
 
+// Builder methods deliberately use the term language's operator names
+// (`add`, `neg`, ...) rather than implementing the std::ops traits: they
+// build proof terms, not values.
+#[allow(clippy::should_implement_trait)]
 impl Term {
     /// Integer constant.
     pub fn int(v: impl Into<BigInt>) -> Term {
@@ -259,6 +263,7 @@ impl Term {
     }
 }
 
+#[allow(clippy::should_implement_trait)]
 impl Formula {
     /// N-ary conjunction, flattening trivial cases.
     pub fn and_all(fs: impl IntoIterator<Item = Formula>) -> Formula {

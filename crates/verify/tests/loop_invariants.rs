@@ -87,7 +87,6 @@ fn missing_invariant_is_rejected() {
 #[test]
 fn wrong_invariant_is_rejected() {
     let v = SExpr::var;
-    let i = |x: i64| SExpr::int(x);
     // Claim s == i (false from the second iteration on).
     let prog = gauss_program(vec![v("s").eq(v("i"))]);
     let mut env = Env::new();

@@ -8,6 +8,7 @@
 pub use chicala_bigint as bigint;
 pub use chicala_bvlib as bvlib;
 pub use chicala_chisel as chisel;
+pub use chicala_conformance as conformance;
 pub use chicala_core as core;
 pub use chicala_designs as designs;
 pub use chicala_lowlevel as lowlevel;

@@ -1,0 +1,44 @@
+//! The full-registry conformance gate: every registered design, every
+//! comparable layer pair, seeded and replayable. This is the integration
+//! surface of `crates/conformance`; see README § "Conformance testing".
+//!
+//! Replay a failing run with `CHICALA_SEED=<master> cargo test -q --test
+//! conformance`, or a single failing case with the CLI:
+//! `cargo run --release --example conformance -- --design <name> --replay
+//! 0x<case seed>`.
+
+use chicala::conformance::{self, regressions, Config};
+
+/// Committed regression corpus first: known-bad seeds from past failures
+/// must stay fixed before any random exploration.
+#[test]
+fn committed_regressions_stay_green() {
+    let failures = regressions::replay_all().expect("corpus is well-formed");
+    assert!(
+        failures.is_empty(),
+        "{} committed regression(s) resurfaced:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The whole registry through all three layers. The summary table makes
+/// coverage (and any cap-induced truncation) visible in the test output.
+#[test]
+fn all_designs_all_layers() {
+    let cfg = Config::default();
+    let report = conformance::run_all(&cfg);
+    println!("master seed: 0x{:016X}", cfg.seed);
+    println!("{}", report.summary_table());
+    for f in &report.failures {
+        eprintln!("{f}");
+    }
+    assert!(report.ok(), "{} conformance divergence(s)", report.failures.len());
+
+    // Coverage floor: every (design, layer) cell must have actually run
+    // cases — an empty cell means the registry and the engine drifted
+    // apart, which must fail loudly rather than shrink coverage silently.
+    for ((design, layer), st) in &report.stats {
+        assert!(st.cases > 0, "no cases ran for {design}/{layer}");
+    }
+}
