@@ -120,6 +120,14 @@ fn report(group: &str, id: &str, samples: &[Duration]) {
         println!("{group}/{id}: no samples");
         return;
     }
+    // Bench iterations and traces share one data model: per-iteration
+    // samples land in a telemetry histogram named after the benchmark.
+    if chicala_telemetry::enabled() {
+        let name = format!("bench/{group}/{id}");
+        for s in samples {
+            chicala_telemetry::record(&name, s.as_nanos() as u64);
+        }
+    }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
     let min = sorted[0];

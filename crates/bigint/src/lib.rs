@@ -101,26 +101,31 @@ impl BigInt {
     }
 
     /// Whether the value is `0`.
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.mag.is_empty()
     }
 
     /// Whether the value is `1`.
+    #[inline]
     pub fn is_one(&self) -> bool {
         self.sign == Sign::Plus && self.mag == [1]
     }
 
     /// Whether the value is strictly negative.
+    #[inline]
     pub fn is_negative(&self) -> bool {
         self.sign == Sign::Minus
     }
 
     /// Whether the value is even.
+    #[inline]
     pub fn is_even(&self) -> bool {
         self.mag.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Sign of the value; zero reports [`Sign::Plus`].
+    #[inline]
     pub fn sign(&self) -> Sign {
         self.sign
     }
@@ -131,6 +136,7 @@ impl BigInt {
     }
 
     /// Little-endian limbs of the magnitude (no trailing zeros).
+    #[inline]
     pub fn magnitude(&self) -> &[u64] {
         &self.mag
     }

@@ -326,6 +326,7 @@ pub fn lemmas() -> Vec<(Lemma, Proof)> {
 /// Returns the first lemma whose proof fails (should not happen for a
 /// released library; the test suite checks all of them).
 pub fn install(env: &mut Env) -> Result<(), (String, ProofError)> {
+    let _span = chicala_telemetry::span!("bvlib.install");
     for (lemma, proof) in lemmas() {
         let name = lemma.name.clone();
         env.prove_lemma(lemma, &proof).map_err(|e| (name, e))?;

@@ -11,6 +11,7 @@ use crate::elab::{ElabKind, ElabModule};
 use crate::expr::{BinaryOp, Expr, UnaryOp};
 use crate::pexpr::PExpr;
 use chicala_bigint::BigInt;
+use chicala_telemetry as telemetry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -180,6 +181,7 @@ impl<'m> Simulator<'m> {
         &mut self,
         inputs: &BTreeMap<String, BigInt>,
     ) -> Result<BTreeMap<String, BigInt>, SimError> {
+        telemetry::counter("chisel.cycles", 1);
         let mut ev = Evaluator {
             em: self.em,
             inputs,

@@ -23,8 +23,10 @@ use chicala_chisel::{elaborate, Bindings, ElabKind, ElabModule, Simulator};
 use chicala_core::transform;
 use chicala_lowlevel::{constant_word, unroll, Netlist, Word};
 use chicala_seq::{SValue, SeqRunner};
+use chicala_telemetry as telemetry;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// A comparable semantic layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -205,10 +207,12 @@ pub struct LayerStats {
     pub max_width: u64,
     /// Total cycles simulated.
     pub cycles: u64,
+    /// Wall-clock nanoseconds spent checking the counted cases.
+    pub elapsed_ns: u64,
 }
 
 impl LayerStats {
-    fn record(&mut self, case: &Case, cycles_run: u64) {
+    fn record(&mut self, case: &Case, cycles_run: u64, elapsed_ns: u64) {
         if self.cases == 0 {
             self.min_width = case.width;
             self.max_width = case.width;
@@ -218,6 +222,15 @@ impl LayerStats {
         }
         self.cases += 1;
         self.cycles += cycles_run;
+        self.elapsed_ns += elapsed_ns;
+    }
+
+    /// Checking throughput in cases per second (`None` before any case).
+    pub fn cases_per_sec(&self) -> Option<f64> {
+        if self.cases == 0 || self.elapsed_ns == 0 {
+            return None;
+        }
+        Some(self.cases as f64 / (self.elapsed_ns as f64 / 1e9))
     }
 }
 
@@ -241,8 +254,8 @@ impl Report {
     pub fn summary_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<10} {:<6} {:>6} {:>8} {:>10} {:>8}\n",
-            "design", "layer", "cases", "skipped", "widths", "cycles"
+            "{:<10} {:<6} {:>6} {:>8} {:>10} {:>8} {:>10}\n",
+            "design", "layer", "cases", "skipped", "widths", "cycles", "cases/s"
         ));
         for ((design, layer), st) in &self.stats {
             let widths = if st.cases == 0 {
@@ -250,14 +263,19 @@ impl Report {
             } else {
                 format!("{}..{}", st.min_width, st.max_width)
             };
+            let rate = match st.cases_per_sec() {
+                Some(r) => format!("{r:.0}"),
+                None => "-".to_string(),
+            };
             out.push_str(&format!(
-                "{:<10} {:<6} {:>6} {:>8} {:>10} {:>8}\n",
+                "{:<10} {:<6} {:>6} {:>8} {:>10} {:>8} {:>10}\n",
                 design,
                 layer.name(),
                 st.cases,
                 st.skipped,
                 widths,
-                st.cycles
+                st.cycles,
+                rate
             ));
         }
         out
@@ -468,12 +486,14 @@ pub fn replay_case(d: &Design, layer: Layer, case_seed: u64, max_width: u64) -> 
 
 /// Runs one design through the configured layers.
 pub fn run_design(d: &Design, cfg: &Config) -> Report {
+    let _design_span = telemetry::span!("conformance:{}", d.name);
     let mut report = Report::default();
     // Per-design stream: independent of registry order and of how many
     // cases other designs consumed, so any (design, case_seed) replays in
     // isolation.
     let mut rng = SplitMix64::new(cfg.seed ^ fnv1a(d.name));
     for &layer in &cfg.layers {
+        let _layer_span = telemetry::span!("{}", layer.name());
         let stats = report
             .stats
             .entry((d.name.to_string(), layer))
@@ -489,8 +509,18 @@ pub fn run_design(d: &Design, cfg: &Config) -> Report {
                 stats.skipped += 1;
                 continue;
             }
-            match check_case(d, layer, &case) {
-                Ok(cycles) => stats.record(&case, cycles),
+            let started = Instant::now();
+            let outcome = check_case(d, layer, &case);
+            let elapsed_ns = started.elapsed().as_nanos() as u64;
+            telemetry::counter("conformance.cases", 1);
+            if telemetry::enabled() {
+                telemetry::record(
+                    format!("conformance.case_ns.{}.{}", d.name, layer.name()).as_str(),
+                    elapsed_ns,
+                );
+            }
+            match outcome {
+                Ok(cycles) => stats.record(&case, cycles, elapsed_ns),
                 Err(message) => {
                     let shrunk = shrink(d, layer, &case);
                     report.failures.push(Failure {

@@ -6,6 +6,7 @@
 use crate::engine::{check_case, Case, Layer};
 use crate::registry::Design;
 use chicala_bigint::BigInt;
+use chicala_telemetry as telemetry;
 
 /// Candidate cases strictly "smaller" than `c`, biggest jumps first so the
 /// greedy loop converges in O(log) accepted steps per dimension.
@@ -52,17 +53,20 @@ fn candidates(d: &Design, c: &Case) -> Vec<Case> {
 /// same (design, layer) unless the failure was flaky — conformance checks
 /// are deterministic, so in practice it always does.
 pub fn shrink(d: &Design, layer: Layer, case: &Case) -> Case {
+    let _span = telemetry::span!("shrink:{}", d.name);
     let mut best = case.normalized(d);
     // The loop strictly decreases (width, cycles, inputs) lexicographically
     // under a well-founded order, so it terminates; the step cap is a
     // belt-and-braces bound against pathological check behavior.
     for _ in 0..512 {
-        let Some(next) = candidates(d, &best)
-            .into_iter()
-            .find(|cand| check_case(d, layer, cand).is_err())
-        else {
-            break;
-        };
+        telemetry::counter("shrink.iterations", 1);
+        let mut checks = 0u64;
+        let next = candidates(d, &best).into_iter().find(|cand| {
+            checks += 1;
+            check_case(d, layer, cand).is_err()
+        });
+        telemetry::counter("shrink.checks", checks);
+        let Some(next) = next else { break };
         best = next;
     }
     best

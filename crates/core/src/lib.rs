@@ -47,6 +47,7 @@ pub use typing::{STy, TypeCtx, TypeError};
 
 use chicala_chisel::{ChiselType, LValue, Module, SignalKind, Stmt};
 use chicala_seq::{next_name, SExpr, SFunc, SStmt, SeqProgram, SeqVarDecl};
+use chicala_telemetry as telemetry;
 use std::fmt;
 
 /// Options controlling the transformation (the ablation switches).
@@ -136,7 +137,9 @@ pub fn transform_with(
     module: &Module,
     opts: TransformOptions,
 ) -> Result<TransformOutput, TransformError> {
+    let _span = telemetry::span!("transform:{}", module.name);
     if opts.check {
+        let _s = telemetry::span!("check");
         let report = check_module(module);
         if !report.is_ok() {
             return Err(TransformError::Rejected(report.violations));
@@ -155,17 +158,23 @@ pub fn transform_with(
             _ => None,
         })
         .collect();
+    let split_span = telemetry::span!("split");
     let node_units = split(&node_stmts);
     let body_units = split_from(&module.body, node_units.len());
     let mut units = node_units;
     units.extend(body_units);
+    split_span.finish();
+    telemetry::counter("transform.units", units.len() as u64);
 
     let ordered = if opts.reorder {
+        let _s = telemetry::span!("reorder");
         reorder(units, &ModuleClassifier::new(module))?
     } else {
         units
     };
     let merged = merge(&ordered, opts.merge);
+
+    let _codegen_span = telemetry::span!("codegen");
 
     let mut tr = Translator::new(TypeCtx::new(module));
 
@@ -232,6 +241,8 @@ pub fn transform_with(
         timeout: None,
         funcs,
     };
+    telemetry::counter("transform.stmts_generated", program.trans.len() as u64);
+    telemetry::counter("transform.obligations", tr.obligations.len() as u64);
     Ok(TransformOutput { program, obligations: tr.obligations })
 }
 

@@ -9,3 +9,31 @@ pub mod xdiv;
 pub mod xmul;
 pub mod rmul;
 pub mod rotate;
+
+use chicala_chisel::Module;
+use chicala_verify::DesignSpec;
+
+/// One case-study design's verification artefacts: the Chisel-subset
+/// module builder plus its deductive spec where one exists (popcount is
+/// conformance-tested but carries no verify spec yet).
+pub struct VerifiedDesign {
+    /// Registry name (matches the conformance registry).
+    pub name: &'static str,
+    /// Builds the Chisel-subset module.
+    pub module: fn() -> Module,
+    /// The design's `DesignSpec`, if it has one.
+    pub spec: Option<fn() -> DesignSpec>,
+}
+
+/// Every case-study design with its verification spec, in the
+/// conformance registry's order.
+pub fn verified_designs() -> Vec<VerifiedDesign> {
+    vec![
+        VerifiedDesign { name: "rotate", module: rotate::module, spec: Some(rotate::spec) },
+        VerifiedDesign { name: "popcount", module: popcount::module, spec: None },
+        VerifiedDesign { name: "rmul", module: rmul::module, spec: Some(rmul::spec) },
+        VerifiedDesign { name: "xmul", module: xmul::module, spec: Some(xmul::spec) },
+        VerifiedDesign { name: "rdiv", module: rdiv::module, spec: Some(rdiv::spec) },
+        VerifiedDesign { name: "xdiv", module: xdiv::module, spec: Some(xdiv::spec) },
+    ]
+}

@@ -45,6 +45,13 @@ pub trait BitKit {
         let carry = self.or(ab, axb_cin);
         (sum, carry)
     }
+
+    /// Current size of the kit's structure (gate count, BDD node count) —
+    /// reported to telemetry by [`crate::unroll`]. `None` for kits without
+    /// a meaningful size.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// A word: little-endian bits with a signedness tag (mirroring the

@@ -5,6 +5,7 @@
 
 use crate::bitblast::{clamp, BitKit, BlastError, Blaster, Word};
 use chicala_chisel::{ElabKind, ElabModule};
+use chicala_telemetry as telemetry;
 use std::collections::BTreeMap;
 
 /// Final symbolic state after unrolling.
@@ -30,6 +31,7 @@ pub fn unroll<K: BitKit>(
     init_regs: &BTreeMap<String, Word<K::Bit>>,
     cycles: usize,
 ) -> Result<UnrolledState<K::Bit>, BlastError> {
+    let _span = telemetry::span!("unroll:{}x{}", em.name, cycles);
     // Initial register state.
     let mut regs: BTreeMap<String, Word<K::Bit>> = BTreeMap::new();
     for s in &em.signals {
@@ -77,6 +79,9 @@ pub fn unroll<K: BitKit>(
         }
         regs = next;
     }
+    if let Some(size) = kit.size_hint() {
+        telemetry::record("bitblast.kit_size", size as u64);
+    }
     Ok(UnrolledState { regs, outputs })
 }
 
@@ -104,6 +109,7 @@ pub fn words_equal(
     a: &Word<crate::bdd::Ref>,
     b: &Word<crate::bdd::Ref>,
 ) -> crate::bdd::Ref {
+    let _span = telemetry::span!("words_equal");
     let w = a.width().max(b.width());
     let mut acc = crate::bdd::TRUE;
     for i in 0..w {

@@ -118,6 +118,10 @@ impl BitKit for Netlist {
     fn not(&mut self, a: Net) -> Net {
         self.mk(Gate::Not(a))
     }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.gate_count())
+    }
 }
 
 /// The BDD manager as a bit kit (for per-width formal checking).
@@ -142,6 +146,10 @@ impl BitKit for crate::bdd::Bdd {
 
     fn not(&mut self, a: Self::Bit) -> Self::Bit {
         crate::bdd::Bdd::not(self, a)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.node_count())
     }
 }
 

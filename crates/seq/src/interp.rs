@@ -8,6 +8,7 @@
 use crate::expr::{SBinop, SCmp, SExpr, SValue, SeqError};
 use crate::program::{next_name, SFunc, SStmt, SeqProgram};
 use chicala_bigint::BigInt;
+use chicala_telemetry as telemetry;
 use std::collections::BTreeMap;
 
 /// A variable environment.
@@ -291,6 +292,7 @@ impl<'p> SeqRunner<'p> {
         inputs: &BTreeMap<String, SValue>,
         regs: &BTreeMap<String, SValue>,
     ) -> Result<TransResult, SeqError> {
+        telemetry::counter("seq.cycles", 1);
         let funcs = self.funcs();
         let mut env = self.base_env(inputs, regs);
         exec_stmts(&self.prog.trans, &mut env, &funcs)?;

@@ -1,0 +1,80 @@
+//! The Chrome trace-event exporter. The output is the JSON array form of
+//! the trace-event format, loadable in `chrome://tracing` and
+//! `ui.perfetto.dev`.
+
+use crate::collect::Snapshot;
+use crate::json::JsonValue;
+use std::cmp::Reverse;
+
+/// Converts `snap` into Chrome trace-event JSON with paired `B`/`E`
+/// duration events (plus instant `i` events for recorded
+/// [`crate::event`]s). Begin/end pairs are emitted properly balanced per
+/// thread: spans from one thread come from a stack, so their intervals
+/// nest; sorting by `(start, Reverse(end), depth)` and sweeping a stack
+/// recovers that nesting exactly.
+pub fn chrome_trace(snap: &Snapshot) -> String {
+    let mut events: Vec<JsonValue> = Vec::new();
+
+    let mut threads: Vec<u64> = snap.spans.iter().map(|s| s.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+
+    for tid in threads {
+        let mut spans: Vec<_> = snap.spans.iter().filter(|s| s.thread == tid).collect();
+        spans.sort_by_key(|s| {
+            (s.start_ns, Reverse(s.start_ns.saturating_add(s.dur_ns)), s.depth)
+        });
+        // Sweep: open stack of (end_ns, name). Before opening a span, close
+        // every open span that ends at or before its start.
+        let mut open: Vec<(u64, String)> = Vec::new();
+        for s in &spans {
+            while let Some((end, _)) = open.last() {
+                if *end <= s.start_ns {
+                    let (end, name) = open.pop().expect("checked non-empty");
+                    events.push(duration_event("E", &name, end, tid));
+                } else {
+                    break;
+                }
+            }
+            events.push(duration_event("B", &s.name, s.start_ns, tid));
+            open.push((s.start_ns.saturating_add(s.dur_ns), s.name.clone()));
+        }
+        while let Some((end, name)) = open.pop() {
+            events.push(duration_event("E", &name, end, tid));
+        }
+    }
+
+    for e in &snap.events {
+        let mut args = JsonValue::obj();
+        for (k, v) in &e.fields {
+            args = args.set(k, JsonValue::str(v.clone()));
+        }
+        events.push(
+            JsonValue::obj()
+                .set("name", JsonValue::str(e.name.clone()))
+                .set("ph", JsonValue::str("i"))
+                .set("ts", micros(e.ts_ns))
+                .set("pid", JsonValue::int(1))
+                .set("tid", JsonValue::int(e.thread))
+                .set("s", JsonValue::str("t"))
+                .set("args", args),
+        );
+    }
+
+    JsonValue::Arr(events).pretty()
+}
+
+fn duration_event(ph: &str, name: &str, ts_ns: u64, tid: u64) -> JsonValue {
+    JsonValue::obj()
+        .set("name", JsonValue::str(name))
+        .set("ph", JsonValue::str(ph))
+        .set("ts", micros(ts_ns))
+        .set("pid", JsonValue::int(1))
+        .set("tid", JsonValue::int(tid))
+}
+
+/// Trace-event timestamps are microseconds; keep sub-µs resolution as a
+/// fractional part.
+fn micros(ns: u64) -> JsonValue {
+    JsonValue::Num(ns as f64 / 1_000.0)
+}

@@ -1,0 +1,292 @@
+//! The global collector: the enable gate, the per-thread span stacks, and
+//! the record stores behind one mutex.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Stable small id per OS thread, assigned on first probe.
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    /// The open-span name stack of this thread (hierarchy source).
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether collection is on. The first call reads `CHICALA_TRACE` (set and
+/// not `"0"` means on); afterwards this is a single relaxed atomic load —
+/// the entire disabled-path cost of every probe in the pipeline.
+pub fn enabled() -> bool {
+    ENV_INIT.call_once(|| {
+        let on = std::env::var("CHICALA_TRACE").is_ok_and(|v| !v.is_empty() && v != "0");
+        ENABLED.store(on, Ordering::Relaxed);
+    });
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Programmatically enables or disables collection (overriding the
+/// environment), e.g. from benches measuring both modes or from tests.
+pub fn set_enabled(on: bool) {
+    ENV_INIT.call_once(|| {});
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Full `/`-joined path from the thread's span stack at open time.
+    pub path: String,
+    /// Leaf name (the last path segment).
+    pub name: String,
+    /// Nanoseconds from the collector epoch to the span's open.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Collector-assigned thread id.
+    pub thread: u64,
+    /// Number of enclosing spans at open time.
+    pub depth: usize,
+}
+
+/// One structured diagnostic event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: String,
+    /// Nanoseconds from the collector epoch.
+    pub ts_ns: u64,
+    /// Collector-assigned thread id.
+    pub thread: u64,
+    /// Key/value payload, in caller order.
+    pub fields: Vec<(String, String)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Vec<u64>>,
+    events: Vec<EventRecord>,
+}
+
+fn store() -> &'static Mutex<Inner> {
+    static STORE: OnceLock<Mutex<Inner>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Inner> {
+    // A panic while holding the lock must not disable telemetry for the
+    // rest of the process (tests use should_panic liberally).
+    store().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An open span; records itself into the collector when dropped. Obtain
+/// via [`crate::span!`] (or [`start_span`] for a precomputed name).
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    start_ns: Option<u64>,
+}
+
+impl Span {
+    /// The no-op span handed out while collection is disabled.
+    pub fn disabled() -> Span {
+        Span { start_ns: None }
+    }
+
+    /// Ends the span now (sugar over dropping it).
+    pub fn finish(self) {}
+}
+
+/// Opens a span named `name` under the current thread's innermost open
+/// span. Prefer [`crate::span!`], which skips name construction when
+/// collection is disabled.
+pub fn start_span(name: impl Into<String>) -> Span {
+    if !enabled() {
+        return Span::disabled();
+    }
+    STACK.with(|s| s.borrow_mut().push(name.into()));
+    Span { start_ns: Some(now_ns()) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start_ns) = self.start_ns.take() else { return };
+        let dur_ns = now_ns().saturating_sub(start_ns);
+        let (path, name, depth) = STACK.with(|s| {
+            let mut st = s.borrow_mut();
+            let name = st.pop().unwrap_or_default();
+            let depth = st.len();
+            let path = if st.is_empty() {
+                name.clone()
+            } else {
+                let mut p = st.join("/");
+                p.push('/');
+                p.push_str(&name);
+                p
+            };
+            (path, name, depth)
+        });
+        lock().spans.push(SpanRecord {
+            path,
+            name,
+            start_ns,
+            dur_ns,
+            thread: thread_id(),
+            depth,
+        });
+    }
+}
+
+/// Adds `delta` to the named counter (created at zero), saturating instead
+/// of wrapping on overflow.
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut g = lock();
+    let c = g.counters.entry(name.to_string()).or_insert(0);
+    *c = c.saturating_add(delta);
+}
+
+/// Records one sample into the named histogram.
+pub fn record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    lock().hists.entry(name.to_string()).or_default().push(value);
+}
+
+/// Records a structured diagnostic event.
+pub fn event(name: &str, fields: &[(&str, String)]) {
+    if !enabled() {
+        return;
+    }
+    let rec = EventRecord {
+        name: name.to_string(),
+        ts_ns: now_ns(),
+        thread: thread_id(),
+        fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+    };
+    lock().events.push(rec);
+}
+
+/// A point-in-time copy of everything collected since the last [`reset`].
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Raw histogram samples by name, in recording order.
+    pub hists: BTreeMap<String, Vec<u64>>,
+    /// Diagnostic events, in recording order.
+    pub events: Vec<EventRecord>,
+}
+
+impl Snapshot {
+    /// Summaries of every histogram, by name.
+    pub fn hist_summaries(&self) -> BTreeMap<String, HistSummary> {
+        self.hists
+            .iter()
+            .filter_map(|(k, v)| HistSummary::from_samples(v).map(|s| (k.clone(), s)))
+            .collect()
+    }
+
+    /// Sum of `dur_ns` over spans whose path satisfies `pred` — the
+    /// aggregation primitive cost-breakdown tables are built from.
+    pub fn span_total_ns(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| pred(&s.path))
+            .fold(0u64, |acc, s| acc.saturating_add(s.dur_ns))
+    }
+}
+
+/// Copies out everything collected so far.
+pub fn snapshot() -> Snapshot {
+    let g = lock();
+    Snapshot {
+        spans: g.spans.clone(),
+        counters: g.counters.clone(),
+        hists: g.hists.clone(),
+        events: g.events.clone(),
+    }
+}
+
+/// Clears all collected data (open spans on other threads will still
+/// record on drop). Does not change the enable state.
+pub fn reset() {
+    let mut g = lock();
+    g.spans.clear();
+    g.counters.clear();
+    g.hists.clear();
+    g.events.clear();
+}
+
+/// Summary statistics of one histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 90th percentile (nearest-rank).
+    pub p90: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+impl HistSummary {
+    /// Summarises `samples`; `None` when empty.
+    pub fn from_samples(samples: &[u64]) -> Option<HistSummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
+        Some(HistSummary {
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: sum as f64 / sorted.len() as f64,
+            p50: percentile(&sorted, 50.0),
+            p90: percentile(&sorted, 90.0),
+            p99: percentile(&sorted, 99.0),
+        })
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted, non-empty slice:
+/// `rank = ceil(q/100 * n)` clamped to `[1, n]`. With one sample every
+/// percentile is that sample; `q = 0` yields the minimum.
+pub(crate) fn percentile(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    let rank = ((q / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}

@@ -1,0 +1,146 @@
+//! A minimal JSON document model and serializer, so exporters (and the
+//! conformance `--json` mode) need no external serialization crate.
+
+use std::fmt;
+
+/// A JSON value. Build with the constructors, serialize with
+/// [`fmt::Display`] or [`JsonValue::pretty`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// An integer value. JSON numbers are doubles; u64s above 2^53 lose
+    /// precision in consumers anyway, so we serialize via the integer
+    /// formatting path to keep exact digits for anything that fits.
+    pub fn int(n: u64) -> JsonValue {
+        JsonValue::Num(n as f64)
+    }
+
+    /// An empty object to push fields onto.
+    pub fn obj() -> JsonValue {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// Adds a field to an object (panics on non-objects — construction
+    /// bug, not data).
+    pub fn set(mut self, key: &str, value: JsonValue) -> JsonValue {
+        match &mut self {
+            JsonValue::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("JsonValue::set on non-object"),
+        }
+        self
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if *n == n.trunc() && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].write(out, ind);
+            }),
+            JsonValue::Obj(fields) => {
+                write_seq(out, indent, '{', '}', fields.len(), |out, i, ind| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, ind);
+                });
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    /// Compact (no-whitespace) serialization.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        f.write_str(&out)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|i| i + 1);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(ind) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(ind));
+        }
+        item(out, i, inner);
+    }
+    if let Some(ind) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(ind));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

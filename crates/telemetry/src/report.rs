@@ -1,0 +1,81 @@
+//! The human-readable exporter: an aggregated span tree followed by
+//! counter and histogram tables.
+
+use crate::collect::Snapshot;
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct Agg {
+    total_ns: u64,
+    count: u64,
+}
+
+/// Renders `snap` as an indented tree of span paths — each line showing
+/// call count and summed wall-clock time, aggregated across threads —
+/// followed by the counters and histogram summaries. Empty snapshots
+/// render as an explicit placeholder so "no data" is visible, not silent.
+pub fn tree_report(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    out.push_str("── spans ──\n");
+    if snap.spans.is_empty() {
+        out.push_str("  (none)\n");
+    } else {
+        // Aggregate by full path; BTreeMap ordering on the path string
+        // keeps every child adjacent to (and after) its parent.
+        let mut agg: BTreeMap<&str, Agg> = BTreeMap::new();
+        for s in &snap.spans {
+            let a = agg.entry(s.path.as_str()).or_default();
+            a.total_ns = a.total_ns.saturating_add(s.dur_ns);
+            a.count += 1;
+        }
+        for (path, a) in &agg {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            out.push_str(&format!(
+                "  {}{}  ×{}  {}\n",
+                "  ".repeat(depth),
+                leaf,
+                a.count,
+                fmt_ns(a.total_ns)
+            ));
+        }
+    }
+
+    if !snap.counters.is_empty() {
+        out.push_str("── counters ──\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name} = {v}\n"));
+        }
+    }
+
+    let summaries = snap.hist_summaries();
+    if !summaries.is_empty() {
+        out.push_str("── histograms ──\n");
+        for (name, h) in &summaries {
+            out.push_str(&format!(
+                "  {name}  n={} min={} p50={} p90={} p99={} max={} mean={:.1}\n",
+                h.count, h.min, h.p50, h.p90, h.p99, h.max, h.mean
+            ));
+        }
+    }
+
+    if !snap.events.is_empty() {
+        out.push_str(&format!("── events ── ({} recorded)\n", snap.events.len()));
+    }
+
+    out
+}
+
+/// Formats nanoseconds at a human scale (ns/µs/ms/s).
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}

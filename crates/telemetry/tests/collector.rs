@@ -1,0 +1,244 @@
+//! Behavioural tests for the collector, the summary math, and the
+//! exporters.
+//!
+//! The collector is process-global, so every test funnels through one
+//! mutex ([`exclusive`]) — Rust runs integration-test functions on
+//! concurrent threads by default and interleaved reset/snapshot calls
+//! would race otherwise.
+
+use chicala_telemetry as telemetry;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use telemetry::{HistSummary, Snapshot};
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    let g = GATE
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    g
+}
+
+#[test]
+fn span_nesting_builds_paths_and_orders_by_completion() {
+    let _g = exclusive();
+    {
+        let _root = telemetry::span!("root");
+        {
+            let _child = telemetry::span!("child:{}", 1);
+            let _grand = telemetry::span!("leaf");
+        }
+        let _child2 = telemetry::span!("child:2");
+    }
+    let snap = telemetry::snapshot();
+    let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+    // Spans record when they close, innermost first.
+    assert_eq!(
+        paths,
+        ["root/child:1/leaf", "root/child:1", "root/child:2", "root"]
+    );
+    assert_eq!(snap.spans[0].depth, 2);
+    assert_eq!(snap.spans[0].name, "leaf");
+    assert_eq!(snap.spans[3].depth, 0);
+    // A parent's interval contains its children's.
+    let root = &snap.spans[3];
+    for child in &snap.spans[..3] {
+        assert!(child.start_ns >= root.start_ns);
+        assert!(child.start_ns + child.dur_ns <= root.start_ns + root.dur_ns);
+    }
+    telemetry::reset();
+}
+
+#[test]
+fn disabled_collection_records_nothing_and_costs_no_formatting() {
+    let _g = exclusive();
+    telemetry::set_enabled(false);
+    struct PanicOnDisplay;
+    impl std::fmt::Display for PanicOnDisplay {
+        fn fmt(&self, _: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            panic!("span name formatted while telemetry disabled");
+        }
+    }
+    {
+        let _s = telemetry::span!("costly:{}", PanicOnDisplay);
+        telemetry::counter("c", 1);
+        telemetry::record("h", 1);
+        telemetry::event("e", &[("k", "v".to_string())]);
+    }
+    let snap = telemetry::snapshot();
+    assert!(snap.spans.is_empty());
+    assert!(snap.counters.is_empty());
+    assert!(snap.hists.is_empty());
+    assert!(snap.events.is_empty());
+    telemetry::set_enabled(true);
+}
+
+#[test]
+fn percentiles_zero_samples() {
+    assert_eq!(HistSummary::from_samples(&[]), None);
+}
+
+#[test]
+fn percentiles_one_sample() {
+    let h = HistSummary::from_samples(&[42]).expect("one sample");
+    assert_eq!(h.count, 1);
+    assert_eq!((h.min, h.p50, h.p90, h.p99, h.max), (42, 42, 42, 42, 42));
+    assert_eq!(h.mean, 42.0);
+}
+
+#[test]
+fn percentiles_many_samples() {
+    // 1..=100: nearest-rank p50 = 50th value, p90 = 90th, p99 = 99th.
+    let samples: Vec<u64> = (1..=100).rev().collect();
+    let h = HistSummary::from_samples(&samples).expect("samples");
+    assert_eq!(h.count, 100);
+    assert_eq!(h.min, 1);
+    assert_eq!(h.max, 100);
+    assert_eq!(h.p50, 50);
+    assert_eq!(h.p90, 90);
+    assert_eq!(h.p99, 99);
+    assert_eq!(h.mean, 50.5);
+
+    // Two samples: p50 is the lower (rank ceil(0.5*2)=1), p90/p99 the upper.
+    let h = HistSummary::from_samples(&[10, 20]).expect("samples");
+    assert_eq!((h.p50, h.p90, h.p99), (10, 20, 20));
+}
+
+#[test]
+fn counter_saturates_instead_of_wrapping() {
+    let _g = exclusive();
+    telemetry::counter("sat", u64::MAX - 1);
+    telemetry::counter("sat", 5);
+    telemetry::counter("sat", u64::MAX);
+    assert_eq!(telemetry::snapshot().counters["sat"], u64::MAX);
+    telemetry::reset();
+}
+
+#[test]
+fn concurrent_recording_from_many_threads() {
+    let _g = exclusive();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 200;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let _s = telemetry::span!("worker:{t}");
+                    telemetry::counter("work.items", 1);
+                    telemetry::record("work.size", i);
+                }
+            });
+        }
+    });
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.counters["work.items"], (THREADS as u64) * PER_THREAD);
+    assert_eq!(snap.hists["work.size"].len(), THREADS * PER_THREAD as usize);
+    assert_eq!(snap.spans.len(), THREADS * PER_THREAD as usize);
+    // Span nesting is per-thread: none of these spans saw another thread's
+    // open span as a parent.
+    assert!(snap.spans.iter().all(|s| s.depth == 0 && s.path == s.name));
+    let h = snap.hist_summaries()["work.size"];
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, PER_THREAD - 1);
+    telemetry::reset();
+}
+
+#[test]
+fn chrome_trace_emits_balanced_begin_end_events() {
+    let _g = exclusive();
+    {
+        let _a = telemetry::span!("phase:a");
+        {
+            let _b = telemetry::span!("phase:b");
+            let _c = telemetry::span!("phase:c");
+        }
+        let _d = telemetry::span!("phase:d");
+    }
+    telemetry::event("note", &[("vc", "post".to_string())]);
+    let snap = telemetry::snapshot();
+    let json = telemetry::chrome_trace(&snap);
+    telemetry::reset();
+
+    // Loadability smoke checks: an array, no trailing comma.
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    assert!(!json.contains(",]") && !json.contains(",\n]"));
+
+    // Every B has a matching E in stack (LIFO) order per thread, and
+    // timestamps never decrease. Pretty output puts one field per line;
+    // gather fields per top-level object (depth-2 `}` ends one).
+    let mut stack: Vec<String> = Vec::new();
+    let mut last_ts = f64::MIN;
+    let mut begins = 0;
+    let (mut name, mut ph, mut ts) = (None::<String>, None::<String>, None::<f64>);
+    for line in json.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(v) = t.strip_prefix("\"name\": ") {
+            name = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = t.strip_prefix("\"ph\": ") {
+            ph = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = t.strip_prefix("\"ts\": ") {
+            ts = Some(v.parse().expect("numeric ts"));
+        } else if t == "}" && line.starts_with("  }") {
+            let name = name.take().expect("event has name");
+            let ts = ts.take().expect("event has ts");
+            assert!(ts >= last_ts, "timestamps must be non-decreasing");
+            last_ts = ts;
+            match ph.take().expect("event has ph").as_str() {
+                "B" => {
+                    begins += 1;
+                    stack.push(name);
+                }
+                "E" => {
+                    let open = stack.pop().expect("E without open B");
+                    assert_eq!(open, name, "E must close innermost B");
+                }
+                "i" => assert_eq!(name, "note"),
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+    }
+    assert!(stack.is_empty(), "unclosed B events: {stack:?}");
+    assert_eq!(begins, 4);
+    assert!(json.contains("\"vc\": \"post\""));
+}
+
+#[test]
+fn tree_report_aggregates_and_handles_empty() {
+    let _g = exclusive();
+    let empty = telemetry::tree_report(&Snapshot::default());
+    assert!(empty.contains("(none)"));
+
+    for _ in 0..3 {
+        let _p = telemetry::span!("prove");
+        let _k = telemetry::span!("kernel");
+    }
+    telemetry::counter("vcs", 7);
+    telemetry::record("formula.size", 11);
+    let report = telemetry::tree_report(&telemetry::snapshot());
+    telemetry::reset();
+    assert!(report.contains("prove  ×3"));
+    assert!(report.contains("kernel  ×3"));
+    assert!(report.contains("vcs = 7"));
+    assert!(report.contains("formula.size  n=1"));
+}
+
+#[test]
+fn json_value_escapes_and_roundtrips_structure() {
+    use telemetry::JsonValue;
+    let v = JsonValue::obj()
+        .set("name", JsonValue::str("a\"b\\c\nd"))
+        .set("n", JsonValue::int(12345678901234))
+        .set("frac", JsonValue::Num(1.5))
+        .set("flag", JsonValue::Bool(true))
+        .set("none", JsonValue::Null)
+        .set("arr", JsonValue::Arr(vec![JsonValue::int(1), JsonValue::int(2)]));
+    let compact = v.to_string();
+    assert_eq!(
+        compact,
+        r#"{"name":"a\"b\\c\nd","n":12345678901234,"frac":1.5,"flag":true,"none":null,"arr":[1,2]}"#
+    );
+    assert!(v.pretty().contains("\"arr\": [\n"));
+}

@@ -21,6 +21,7 @@ use crate::linarith::{refute, LinCon, Refutation};
 use crate::poly::{assume_ite, find_ite, normalize, Monomial, Poly};
 use crate::term::{Formula, Sym, Term};
 use chicala_bigint::BigInt;
+use chicala_telemetry as telemetry;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -146,11 +147,25 @@ pub struct Limits {
     pub fm_budget: usize,
     /// Fact-saturation rounds.
     pub saturation_rounds: usize,
+    /// Optional wall-clock deadline for the automatic core. Checked at the
+    /// escalation-tier boundaries of `refute_case` and at every
+    /// conditional split, so a single runaway goal fails fast (with a
+    /// "deadline exceeded" error) instead of grinding through the full
+    /// rewrite/saturation budget. `None` (the default) never times out —
+    /// proof *success* is unaffected by timing, only how long a failure
+    /// may search.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { ite_splits: 64, case_cap: 512, fm_budget: 20_000, saturation_rounds: 3 }
+        Limits {
+            ite_splits: 64,
+            case_cap: 512,
+            fm_budget: 20_000,
+            saturation_rounds: 3,
+            deadline: None,
+        }
     }
 }
 
@@ -248,6 +263,7 @@ impl Env {
     ///
     /// Returns [`ProofError`] if the proof does not check.
     pub fn prove_lemma(&mut self, lemma: Lemma, proof: &Proof) -> Result<(), ProofError> {
+        let _span = telemetry::span!("lemma:{}", lemma.name);
         self.prove(&lemma.hyps, &lemma.concl, proof)?;
         let prev = self.lemmas.insert(lemma.name.clone(), lemma);
         assert!(prev.is_none(), "duplicate lemma name");
@@ -512,10 +528,21 @@ impl Env {
             })
     }
 
+    /// Whether the configured wall-clock deadline (if any) has passed.
+    fn past_deadline(&self) -> bool {
+        self.limits.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
     /// The automatic core.
     fn auto(&self, hyps: &[Formula], goal: &Formula) -> Result<(), ProofError> {
+        telemetry::counter("kernel.auto_calls", 1);
         let mut splits = self.limits.ite_splits;
-        self.auto_split(hyps.to_vec(), goal.clone(), &mut splits)
+        let r = self.auto_split(hyps.to_vec(), goal.clone(), &mut splits);
+        telemetry::counter(
+            "kernel.ite_splits",
+            (self.limits.ite_splits - splits) as u64,
+        );
+        r
     }
 
     /// Splits all conditionals, then dispatches to the literal-level
@@ -530,6 +557,9 @@ impl Env {
         if let Some(cond) = ite {
             if *splits == 0 {
                 return Err(err("conditional split budget exhausted", &goal));
+            }
+            if self.past_deadline() {
+                return Err(err("kernel wall-clock deadline exceeded", &goal));
             }
             *splits -= 1;
             for v in [true, false] {
@@ -650,6 +680,11 @@ impl Env {
         neg_lits: &[Literal],
         goal: &Formula,
     ) -> Result<(), ProofError> {
+        telemetry::counter("kernel.refute_cases", 1);
+        let deadline_err = || err("kernel wall-clock deadline exceeded", goal);
+        if self.past_deadline() {
+            return Err(deadline_err());
+        }
         // 1. Normalise literals into polynomial constraints `p + k >= 0`
         //    and equality polynomials `p == 0`. Polynomials coming from the
         //    negated goal seed the relevance filter.
@@ -742,6 +777,9 @@ impl Env {
         let mut prod_seen = std::collections::BTreeSet::new();
         let mut eq_facts: Vec<Poly> = Vec::new();
         for _ in 0..self.limits.saturation_rounds {
+            if self.past_deadline() {
+                return Err(deadline_err());
+            }
             let mut added = self.saturate(&mut atoms, &mut cons, &rules, &mut cap, &mut eq_facts);
             added |= bound_products(&mut atoms, &mut cons);
             if !added {
@@ -776,6 +814,9 @@ impl Env {
                 }
             }
             for _ in 0..self.limits.saturation_rounds {
+                if self.past_deadline() {
+                    return Err(deadline_err());
+                }
                 let mut added =
                     self.saturate(&mut atoms, &mut cons, &rules2, &mut cap, &mut eq_facts);
                 added |= bound_products(&mut atoms, &mut cons);
@@ -790,6 +831,9 @@ impl Env {
         };
 
         // Tier 2: equality-atom products and inequality-atom products.
+        if self.past_deadline() {
+            return Err(deadline_err());
+        }
         {
             let mut extra: Vec<(Poly, BigInt)> = Vec::new();
             // Universe of degree-1 atoms and monomials in play.
@@ -870,6 +914,9 @@ impl Env {
             all.extend(extra);
         }
         for _ in 0..self.limits.saturation_rounds {
+            if self.past_deadline() {
+                return Err(deadline_err());
+            }
             let mut added =
                 self.saturate(&mut atoms, &mut cons, &rules, &mut cap, &mut eq_facts);
             added |= bound_products(&mut atoms, &mut cons);
@@ -879,19 +926,32 @@ impl Env {
             }
         }
         let outcome = self.filtered_refute(&cons, &seed_idx);
-        if outcome != Refutation::Unsat && std::env::var_os("CHICALA_DUMP_CONS").is_some() {
-            eprintln!("--- unrefuted system for goal {goal} ---");
-            for (i, a) in atoms.atoms.iter().enumerate() {
-                eprintln!("  atom {i}: {a}");
-            }
-            for c in &cons {
-                let terms: Vec<String> = c
-                    .coeffs
-                    .iter()
-                    .map(|(i, v)| format!("{v}*a{i}"))
-                    .collect();
-                eprintln!("  {} + {} >= 0", terms.join(" + "), c.constant);
-            }
+        telemetry::counter("kernel.rewrites", (40_000 - cap) as u64);
+        if outcome != Refutation::Unsat && telemetry::enabled() {
+            // The old CHICALA_DUMP_CONS eprintln dump, now a capturable
+            // structured event (exported via the trace, not lost to stderr).
+            let system: Vec<String> = cons
+                .iter()
+                .map(|c| {
+                    let terms: Vec<String> =
+                        c.coeffs.iter().map(|(i, v)| format!("{v}*a{i}")).collect();
+                    format!("{} + {} >= 0", terms.join(" + "), c.constant)
+                })
+                .collect();
+            let atom_list: Vec<String> = atoms
+                .atoms
+                .iter()
+                .enumerate()
+                .map(|(i, a)| format!("a{i} = {a}"))
+                .collect();
+            telemetry::event(
+                "kernel.unrefuted_system",
+                &[
+                    ("goal", goal.to_string()),
+                    ("atoms", atom_list.join("; ")),
+                    ("constraints", system.join("; ")),
+                ],
+            );
         }
         match outcome {
             Refutation::Unsat => Ok(()),
@@ -917,6 +977,9 @@ impl Env {
         seeds: &std::collections::BTreeSet<usize>,
         light: bool,
     ) -> Refutation {
+        if self.past_deadline() {
+            return Refutation::Overflow;
+        }
         if !seeds.is_empty() {
             // Order constraints by the BFS round (shared-atom distance from
             // the negated goal) at which they join, then try growing
@@ -946,6 +1009,9 @@ impl Env {
                 if cap >= order.len() {
                     break;
                 }
+                if self.past_deadline() {
+                    return Refutation::Overflow;
+                }
                 let sub: Vec<LinCon> =
                     order[..cap].iter().map(|&i| cons[i].clone()).collect();
                 if refute(sub, self.limits.fm_budget) == Refutation::Unsat {
@@ -960,12 +1026,15 @@ impl Env {
                     order[..take].iter().map(|&i| cons[i].clone()).collect();
                 return refute(sub, self.limits.fm_budget);
             }
-            if order.len() < cons.len() {
+            if order.len() < cons.len() && !self.past_deadline() {
                 let sub: Vec<LinCon> = order.iter().map(|&i| cons[i].clone()).collect();
                 if refute(sub, self.limits.fm_budget) == Refutation::Unsat {
                     return Refutation::Unsat;
                 }
             }
+        }
+        if self.past_deadline() {
+            return Refutation::Overflow;
         }
         refute(cons.to_vec(), self.limits.fm_budget)
     }
@@ -987,11 +1056,10 @@ impl Env {
         for atom in atoms.atoms.clone() {
             collect_fact_terms(&atom, &mut candidates);
         }
-        if std::env::var_os("CHICALA_DUMP_CONS").is_some() {
-            eprintln!("[saturate] {} atoms, {} candidates", atoms.atoms.len(), candidates.len());
-            for c in &candidates {
-                eprintln!("  cand: {c}");
-            }
+        telemetry::counter("kernel.saturation_rounds", 1);
+        if telemetry::enabled() {
+            telemetry::record("kernel.saturation_candidates", candidates.len() as u64);
+            telemetry::record("kernel.saturation_atoms", atoms.atoms.len() as u64);
         }
         let mut added = false;
         // Divisor-positivity probes repeat heavily (many atoms share the

@@ -36,5 +36,6 @@ pub fn refute_micros() -> u64 {
 pub use poly::{assume_ite, find_ite, normalize, ItePresent, Poly};
 pub use term::{Formula, Sym, Term};
 pub use vcgen::{
-    verify_design, DesignSpec, SymState, SymValue, Vc, VcError, VcReport,
+    discharge_vc, generate_vcs, prepare_env, verify_design, DesignSpec, SymState, SymValue, Vc,
+    VcError, VcReport,
 };

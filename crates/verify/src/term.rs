@@ -261,6 +261,24 @@ impl Term {
             Term::App(..) => return None,
         })
     }
+
+    /// Number of AST nodes — the size measure reported to telemetry for
+    /// generated verification conditions.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Term::Const(_) | Term::Var(_) => 1,
+            Term::Add(ts) | Term::Mul(ts) | Term::App(_, ts) => {
+                1 + ts.iter().map(Term::node_count).sum::<usize>()
+            }
+            Term::Div(a, b)
+            | Term::Mod(a, b)
+            | Term::BitAnd(a, b)
+            | Term::BitOr(a, b)
+            | Term::BitXor(a, b) => 1 + a.node_count() + b.node_count(),
+            Term::Pow2(a) => 1 + a.node_count(),
+            Term::Ite(c, t, f) => 1 + c.node_count() + t.node_count() + f.node_count(),
+        }
+    }
 }
 
 #[allow(clippy::should_implement_trait)]
@@ -389,6 +407,21 @@ impl Formula {
             }
             Formula::Implies(a, b) => !a.eval(env, benv)? || b.eval(env, benv)?,
         })
+    }
+
+    /// Number of AST nodes (terms included) — see [`Term::node_count`].
+    pub fn node_count(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::BVar(_) => 1,
+            Formula::Eq(a, b) | Formula::Le(a, b) | Formula::Lt(a, b) => {
+                1 + a.node_count() + b.node_count()
+            }
+            Formula::Not(f) => 1 + f.node_count(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                1 + fs.iter().map(Formula::node_count).sum::<usize>()
+            }
+            Formula::Implies(a, b) => 1 + a.node_count() + b.node_count(),
+        }
     }
 }
 

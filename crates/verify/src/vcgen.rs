@@ -21,6 +21,7 @@
 use crate::kernel::{DefFn, Env, Lemma, Proof, ProofError};
 use crate::term::{Formula, Term};
 use chicala_seq::{next_name, SBinop, SCmp, SExpr, SFunc, SStmt, SeqProgram};
+use chicala_telemetry as telemetry;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -586,7 +587,39 @@ pub fn verify_design(
     spec: &DesignSpec,
     obligations: &[SExpr],
 ) -> Result<VcReport, VcError> {
-    // Register ghost definitions and prove design lemmas.
+    prepare_env(env, spec)?;
+    let vcs = generate_vcs(prog, spec, obligations)?;
+
+    // Discharge every VC (set CHICALA_VC_DEBUG=1 for per-VC timing).
+    let debug = std::env::var_os("CHICALA_VC_DEBUG").is_some();
+    let mut scripted = Vec::new();
+    for vc in &vcs {
+        let proof = spec.proofs.get(&vc.name).cloned().unwrap_or(Proof::Auto);
+        if spec.proofs.contains_key(&vc.name) {
+            scripted.push(vc.name.clone());
+        }
+        let start = std::time::Instant::now();
+        let result = discharge_vc(env, vc, &proof);
+        if debug {
+            eprintln!(
+                "[vc] {} {} in {:.2?}",
+                vc.name,
+                if result.is_ok() { "proved" } else { "FAILED" },
+                start.elapsed()
+            );
+        }
+        result?;
+    }
+    Ok(VcReport { vcs, scripted })
+}
+
+/// Registers a spec's ghost definitions, proves its lemmas, and admits its
+/// trusted lemmas — the environment-setup phase of [`verify_design`].
+///
+/// # Errors
+///
+/// Returns the first failing lemma.
+pub fn prepare_env(env: &mut Env, spec: &DesignSpec) -> Result<(), VcError> {
     for d in &spec.defs {
         env.define(d.clone());
     }
@@ -599,7 +632,43 @@ pub fn verify_design(
     for lemma in &spec.trusted {
         env.assume_axiom(lemma.clone());
     }
+    Ok(())
+}
 
+/// Discharges one VC with the given proof (default: [`Proof::Auto`]),
+/// timing it as a `vc:{name}` span.
+///
+/// # Errors
+///
+/// Returns the kernel's error wrapped as [`VcError::Failed`].
+pub fn discharge_vc(env: &Env, vc: &Vc, proof: &Proof) -> Result<(), VcError> {
+    let _span = telemetry::span!("vc:{}", vc.name);
+    let result = env.prove(&vc.hyps, &vc.goal, proof);
+    if let Err(error) = &result {
+        // Capturable replacement for the old stderr-only failure path.
+        telemetry::event(
+            "vcgen.vc_failed",
+            &[("vc", vc.name.clone()), ("error", error.message.clone())],
+        );
+    }
+    result.map_err(|error| VcError::Failed { vc: vc.name.clone(), error })
+}
+
+/// Symbolically executes `prog` against `spec`, producing every §3.1
+/// verification condition without discharging any — the generation phase
+/// of [`verify_design`], separated so callers (profiling reports, future
+/// incremental checkers) can budget or parallelise discharge themselves.
+///
+/// # Errors
+///
+/// Returns [`VcError::Unsupported`] on constructs outside the executable
+/// subset.
+pub fn generate_vcs(
+    prog: &SeqProgram,
+    spec: &DesignSpec,
+    obligations: &[SExpr],
+) -> Result<Vec<Vc>, VcError> {
+    let _span = telemetry::span!("vcgen");
     let (base_st, mut base_hyps) = base_state(prog);
     let mut ctx = ExecCtx {
         funcs: prog.funcs.iter().map(|f| (f.name.clone(), f)).collect(),
@@ -701,25 +770,13 @@ pub fn verify_design(
         ctx.assumptions.pop();
     }
 
-    // Discharge every VC (set CHICALA_VC_DEBUG=1 for per-VC timing).
-    let debug = std::env::var_os("CHICALA_VC_DEBUG").is_some();
-    let mut scripted = Vec::new();
-    for vc in &ctx.vcs {
-        let proof = spec.proofs.get(&vc.name).cloned().unwrap_or(Proof::Auto);
-        if spec.proofs.contains_key(&vc.name) {
-            scripted.push(vc.name.clone());
+    telemetry::counter("vcgen.vcs_generated", ctx.vcs.len() as u64);
+    if telemetry::enabled() {
+        for vc in &ctx.vcs {
+            let size = vc.goal.node_count()
+                + vc.hyps.iter().map(Formula::node_count).sum::<usize>();
+            telemetry::record("vcgen.formula_nodes", size as u64);
         }
-        let start = std::time::Instant::now();
-        let result = env.prove(&vc.hyps, &vc.goal, &proof);
-        if debug {
-            eprintln!(
-                "[vc] {} {} in {:.2?}",
-                vc.name,
-                if result.is_ok() { "proved" } else { "FAILED" },
-                start.elapsed()
-            );
-        }
-        result.map_err(|error| VcError::Failed { vc: vc.name.clone(), error })?;
     }
-    Ok(VcReport { vcs: ctx.vcs, scripted })
+    Ok(ctx.vcs)
 }

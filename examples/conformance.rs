@@ -11,12 +11,60 @@
 //!     [--keep-going]         # report every divergence, not just the first
 //!     [--replay 0xHEX]       # re-check one case seed (needs --design)
 //!     [--list]               # print the registry and exit
+//!     [--json]               # machine-readable report on stdout
 //! ```
 
 use chicala::conformance::{
     self, all_designs, Config, Design, Layer,
 };
+use chicala::telemetry::JsonValue;
 use std::process::ExitCode;
+
+/// Renders the soak report as a JSON document (the same data as the
+/// summary table, plus every divergence with its replay seed).
+fn json_report(report: &conformance::Report, cfg: &Config) -> JsonValue {
+    let stats: Vec<JsonValue> = report
+        .stats
+        .iter()
+        .map(|((design, layer), st)| {
+            JsonValue::obj()
+                .set("design", JsonValue::str(design))
+                .set("layer", JsonValue::str(layer.name()))
+                .set("cases", JsonValue::int(st.cases as u64))
+                .set("skipped", JsonValue::int(st.skipped as u64))
+                .set("min_width", JsonValue::int(st.min_width))
+                .set("max_width", JsonValue::int(st.max_width))
+                .set("cycles", JsonValue::int(st.cycles))
+                .set("elapsed_ns", JsonValue::int(st.elapsed_ns))
+                .set(
+                    "cases_per_sec",
+                    st.cases_per_sec().map(JsonValue::Num).unwrap_or(JsonValue::Null),
+                )
+        })
+        .collect();
+    let failures: Vec<JsonValue> = report
+        .failures
+        .iter()
+        .map(|f| {
+            JsonValue::obj()
+                .set("design", JsonValue::str(&f.design))
+                .set("layer", JsonValue::str(f.layer.name()))
+                .set("master_seed", JsonValue::str(format!("0x{:016X}", f.master_seed)))
+                .set("case_seed", JsonValue::str(format!("0x{:016X}", f.case_seed)))
+                .set("max_width", JsonValue::int(f.max_width))
+                .set("case", JsonValue::str(f.case.to_string()))
+                .set("shrunk", JsonValue::str(f.shrunk.to_string()))
+                .set("message", JsonValue::str(&f.message))
+        })
+        .collect();
+    JsonValue::obj()
+        .set("seed", JsonValue::str(format!("0x{:016X}", cfg.seed)))
+        .set("cases_per_layer", JsonValue::int(cfg.cases as u64))
+        .set("max_width", JsonValue::int(cfg.max_width))
+        .set("stats", JsonValue::Arr(stats))
+        .set("failures", JsonValue::Arr(failures))
+        .set("ok", JsonValue::Bool(report.ok()))
+}
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -41,6 +89,7 @@ fn main() -> ExitCode {
     };
     let mut designs: Vec<String> = Vec::new();
     let mut replay: Option<u64> = None;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,6 +111,7 @@ fn main() -> ExitCode {
                     .collect();
             }
             "--keep-going" => cfg.stop_at_first = false,
+            "--json" => json = true,
             "--replay" => replay = Some(parse_u64(&value("--replay"), "--replay")),
             "--list" => {
                 for d in all_designs() {
@@ -79,7 +129,8 @@ fn main() -> ExitCode {
                 println!("conformance soak runner; see the doc comment of examples/conformance.rs");
                 println!(
                     "usage: conformance [--design NAME]... [--layers L,..] [--seed N] \
-                     [--cases M] [--max-width W] [--keep-going] [--replay 0xHEX] [--list]"
+                     [--cases M] [--max-width W] [--keep-going] [--replay 0xHEX] [--list] \
+                     [--json]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -122,19 +173,25 @@ fn main() -> ExitCode {
         return if bad { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
 
-    println!(
-        "conformance soak: {} design(s), layers [{}], {} cases each, widths up to {}, master seed 0x{:016X}",
-        selected.len(),
-        cfg.layers.iter().map(|l| l.name()).collect::<Vec<_>>().join(", "),
-        cfg.cases,
-        cfg.max_width,
-        cfg.seed
-    );
+    if !json {
+        println!(
+            "conformance soak: {} design(s), layers [{}], {} cases each, widths up to {}, master seed 0x{:016X}",
+            selected.len(),
+            cfg.layers.iter().map(|l| l.name()).collect::<Vec<_>>().join(", "),
+            cfg.cases,
+            cfg.max_width,
+            cfg.seed
+        );
+    }
     let mut report = conformance::Report::default();
     for d in &selected {
         let r = conformance::run_design(d, &cfg);
         report.stats.extend(r.stats);
         report.failures.extend(r.failures);
+    }
+    if json {
+        println!("{}", json_report(&report, &cfg).pretty());
+        return if report.ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
     println!("\n{}", report.summary_table());
     if report.ok() {

@@ -1,0 +1,92 @@
+//! Measures the cost of the telemetry probes on conformance-soak
+//! throughput, in both collector states:
+//!
+//! * **disabled** (the default) — every probe is one relaxed atomic load;
+//! * **enabled** — spans, counters, and per-case histograms are recorded.
+//!
+//! Prints a JSON document (the committed `BENCH_telemetry_overhead.json`
+//! is one such run). Run with:
+//!
+//! ```text
+//! cargo run --release --example telemetry_overhead
+//! ```
+
+use chicala::conformance::{self, Config, Design};
+use chicala::telemetry::{self, JsonValue};
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+const CASES: usize = 96;
+
+/// One full soak over the workload designs; returns the case count.
+fn soak(designs: &[Design], cfg: &Config) -> usize {
+    let mut cases = 0;
+    for d in designs {
+        let report = conformance::run_design(d, cfg);
+        cases += report.stats.values().map(|s| s.cases).sum::<usize>();
+        assert!(report.ok(), "soak diverged on {}", d.name);
+    }
+    cases
+}
+
+/// Runs `SAMPLES` timed soaks and returns (per-run ns, cases per run).
+fn measure(designs: &[Design], cfg: &Config) -> (Vec<u64>, usize) {
+    let mut cases = soak(designs, cfg); // warm-up
+    let mut runs = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        // Discard between runs so enabled-mode storage never grows without
+        // bound across samples (recording cost stays, accumulation doesn't).
+        telemetry::reset();
+        let t0 = Instant::now();
+        cases = soak(designs, cfg);
+        runs.push(t0.elapsed().as_nanos() as u64);
+    }
+    (runs, cases)
+}
+
+fn median(runs: &[u64]) -> u64 {
+    let mut sorted = runs.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+fn mode_json(runs: &[u64], cases: usize) -> JsonValue {
+    let med = median(runs);
+    JsonValue::obj()
+        .set("runs_ns", JsonValue::Arr(runs.iter().map(|&n| JsonValue::int(n)).collect()))
+        .set("median_ns", JsonValue::int(med))
+        .set("cases_per_run", JsonValue::int(cases as u64))
+        .set("median_cases_per_sec", JsonValue::Num(cases as f64 / (med as f64 / 1e9)))
+}
+
+fn main() {
+    let designs: Vec<Design> = ["rotate", "rmul"]
+        .iter()
+        .map(|n| Design::by_name(n).expect("registered design"))
+        .collect();
+    let cfg = Config { cases: CASES, max_width: 16, ..Config::default() };
+
+    // Disabled first (the process default), then enabled on the same
+    // workload, so the comparison shares cache state unfavourably for the
+    // enabled run rather than the disabled one.
+    telemetry::set_enabled(false);
+    let (disabled_runs, cases) = measure(&designs, &cfg);
+    telemetry::set_enabled(true);
+    let (enabled_runs, _) = measure(&designs, &cfg);
+    telemetry::reset();
+    telemetry::set_enabled(false);
+
+    let (dis, en) = (median(&disabled_runs) as f64, median(&enabled_runs) as f64);
+    let overhead = (en - dis) / dis * 100.0;
+    let doc = JsonValue::obj()
+        .set(
+            "workload",
+            JsonValue::str(format!(
+                "conformance soak: rotate+rmul, {CASES} cases/layer, max_width 16, {SAMPLES} samples/mode"
+            )),
+        )
+        .set("disabled", mode_json(&disabled_runs, cases))
+        .set("enabled", mode_json(&enabled_runs, cases))
+        .set("enabled_overhead_percent", JsonValue::Num((overhead * 100.0).round() / 100.0));
+    println!("{}", doc.pretty());
+}

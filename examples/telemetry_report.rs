@@ -1,0 +1,284 @@
+//! Telemetry report: runs the full pipeline — transformation, VC
+//! generation, (budgeted) kernel discharge, per-width bit-blasting, and a
+//! short conformance soak — for every registered design, then prints a
+//! per-design, per-phase cost breakdown from the telemetry collector and
+//! writes a Chrome trace-event JSON file.
+//!
+//! ```text
+//! CHICALA_TRACE=1 cargo run --example telemetry_report
+//! ```
+//!
+//! Tunables (environment):
+//! * `CHICALA_TRACE` — must be set (and not `0`) or the report has nothing
+//!   to show; the pipeline itself is not run without it.
+//! * `CHICALA_TRACE_OUT` — trace JSON path (default `telemetry_trace.json`).
+//! * `CHICALA_REPORT_BUDGET_SECS` — wall-clock kernel budget per design
+//!   (default 8); VCs and lemmas past the budget are counted as skipped.
+
+use chicala::chisel::elaborate;
+use chicala::conformance;
+use chicala::core::transform;
+use chicala::designs::verified_designs;
+use chicala::lowlevel;
+use chicala::telemetry;
+use chicala::verify::{discharge_vc, generate_vcs, Env, Proof};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Per-design verification tally under the kernel budget.
+#[derive(Default)]
+struct VcTally {
+    proved: usize,
+    failed: usize,
+    skipped: usize,
+}
+
+/// Runs environment setup and VC discharge for one design under a
+/// wall-clock budget: the kernel's `Limits::deadline` makes every single
+/// proof attempt fail fast once the budget is spent, so one hard linarith
+/// goal cannot stall the whole report.
+fn budgeted_verify(
+    spec: &chicala::verify::DesignSpec,
+    prog: &chicala::seq::SeqProgram,
+    obligations: &[chicala::seq::SExpr],
+    budget: Duration,
+) -> Result<VcTally, String> {
+    let started = Instant::now();
+    let mut env = Env::new();
+    chicala::bvlib::install_bitvec(&mut env).map_err(|(n, e)| format!("lemma {n}: {e}"))?;
+    env.limits.deadline = Some(started + budget);
+
+    // Environment setup (prepare_env, inlined so lemmas respect the budget).
+    for d in &spec.defs {
+        env.define(d.clone());
+    }
+    let mut lemmas_done = true;
+    for (lemma, proof) in &spec.lemmas {
+        if started.elapsed() > budget {
+            lemmas_done = false;
+            break;
+        }
+        if let Err(e) = env.prove_lemma(lemma.clone(), proof) {
+            if e.message.contains("deadline") {
+                lemmas_done = false;
+                break;
+            }
+            return Err(format!("lemma {}: {}", lemma.name, e.message));
+        }
+    }
+    for lemma in &spec.trusted {
+        env.assume_axiom(lemma.clone());
+    }
+
+    let vcs = generate_vcs(prog, spec, obligations).map_err(|e| e.to_string())?;
+    let mut tally = VcTally::default();
+    for vc in &vcs {
+        // Without the design's lemmas the remaining VCs would fail for the
+        // wrong reason; count them against the budget instead.
+        if !lemmas_done || started.elapsed() > budget {
+            tally.skipped += 1;
+            continue;
+        }
+        let proof = spec.proofs.get(&vc.name).cloned().unwrap_or(Proof::Auto);
+        match discharge_vc(&env, vc, &proof) {
+            Ok(()) => tally.proved += 1,
+            Err(e) if e.to_string().contains("deadline") => tally.skipped += 1,
+            Err(_) => tally.failed += 1,
+        }
+    }
+    Ok(tally)
+}
+
+/// Bit-blasts the design at one small width for its full latency,
+/// recording gate/BDD sizes into the telemetry histograms.
+fn bitblast_sample(name: &str) -> Result<String, String> {
+    let d = conformance::Design::by_name(name).ok_or("not in conformance registry")?;
+    let width = d.min_width.max(4).min(d.gate_max_width);
+    let cycles = (d.latency)(width) as usize;
+    let module = (d.build)();
+    let bindings: chicala::chisel::Bindings =
+        [("len".to_string(), width as i64)].into_iter().collect();
+    let em = elaborate(&module, &bindings).map_err(|e| e.to_string())?;
+
+    let _span = telemetry::span!("bitblast:{}", name);
+    let mut bdd = lowlevel::bdd::Bdd::new();
+    let inputs = lowlevel::fresh_inputs(
+        &em,
+        |_, i, b: &mut lowlevel::bdd::Bdd| b.var(i as u32),
+        &mut bdd,
+    );
+    lowlevel::unroll(&em, &mut bdd, &inputs, &BTreeMap::new(), cycles)
+        .map_err(|e| e.to_string())?;
+    Ok(format!("len={width}, {cycles} cycles, {} BDD nodes", bdd.node_count()))
+}
+
+/// Formats nanoseconds compactly for the table.
+fn fmt_ns(ns: u64) -> String {
+    if ns == 0 {
+        "-".to_string()
+    } else if ns < 1_000_000 {
+        format!("{:.0}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if !telemetry::enabled() {
+        println!(
+            "telemetry is disabled; set CHICALA_TRACE=1 to collect and report\n\
+             (example: CHICALA_TRACE=1 cargo run --example telemetry_report)"
+        );
+        return Ok(());
+    }
+
+    let budget = Duration::from_secs(
+        std::env::var("CHICALA_REPORT_BUDGET_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(8),
+    );
+
+    let designs = verified_designs();
+    let mut tallies: BTreeMap<&str, Option<VcTally>> = BTreeMap::new();
+    let mut module_names: BTreeMap<&str, String> = BTreeMap::new();
+
+    for d in &designs {
+        println!("== {} ==", d.name);
+
+        // 1. Transformation (records `transform:{module}` spans internally;
+        //    the module name keys the table's transform column).
+        let module = (d.module)();
+        module_names.insert(d.name, module.name.clone());
+        let out = transform(&module)?;
+        println!("  transform: {} statements, {} obligations",
+            out.program.trans.len(), out.obligations.len());
+
+        // 2. Parametric verification under the kernel budget, with the
+        //    whole phase wrapped in a design-attributed span so vcgen /
+        //    vc / lemma child spans can be split out per design below.
+        match &d.spec {
+            Some(spec) => {
+                let spec = spec();
+                let verify_span = telemetry::span!("verify:{}", d.name);
+                let tally = budgeted_verify(&spec, &out.program, &out.obligations, budget);
+                verify_span.finish();
+                match tally {
+                    Ok(t) => {
+                        println!(
+                            "  verify: {} proved, {} failed, {} skipped (budget {:?})",
+                            t.proved, t.failed, t.skipped, budget
+                        );
+                        tallies.insert(d.name, Some(t));
+                    }
+                    Err(e) => {
+                        println!("  verify: error: {e}");
+                        tallies.insert(d.name, None);
+                    }
+                }
+            }
+            None => {
+                println!("  verify: (no deductive spec)");
+                tallies.insert(d.name, None);
+            }
+        }
+
+        // 3. Low-level contrast: one-width bit-blast at the design's
+        //    smallest interesting width.
+        match bitblast_sample(d.name) {
+            Ok(s) => println!("  bitblast: {s}"),
+            Err(e) => println!("  bitblast: error: {e}"),
+        }
+
+        // 4. A short conformance soak (records per-case histograms and
+        //    `conformance:{name}/{layer}` spans internally).
+        if let Some(cd) = conformance::Design::by_name(d.name) {
+            let cfg = conformance::Config {
+                cases: 16,
+                max_width: 16,
+                ..conformance::Config::default()
+            };
+            let report = conformance::run_design(&cd, &cfg);
+            let cases: usize = report.stats.values().map(|s| s.cases).sum();
+            println!(
+                "  conformance: {} cases across {} layers, {} divergence(s)",
+                cases,
+                report.stats.len(),
+                report.failures.len()
+            );
+        }
+        println!();
+    }
+
+    // The per-design, per-phase cost table, aggregated from span paths.
+    let snap = telemetry::snapshot();
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>12}   vcs (proved/failed/skipped)",
+        "design", "transform", "vcgen", "kernel", "bitblast", "conformance"
+    );
+    for d in &designs {
+        let name = d.name;
+        let module_name = module_names.get(name).cloned().unwrap_or_default();
+        let transform_ns =
+            snap.span_total_ns(|p| p == format!("transform:{module_name}"));
+        let vcgen_ns =
+            snap.span_total_ns(|p| p == format!("verify:{name}/vcgen"));
+        let kernel_ns = snap.span_total_ns(|p| {
+            p.strip_prefix(&format!("verify:{name}/"))
+                .is_some_and(|rest| rest.starts_with("vc:") || rest.starts_with("lemma:"))
+        });
+        let bitblast_ns = snap.span_total_ns(|p| {
+            p == format!("bitblast:{name}")
+        });
+        let conformance_ns =
+            snap.span_total_ns(|p| p == format!("conformance:{name}"));
+        let vcs = match tallies.get(name) {
+            Some(Some(t)) => format!("{}/{}/{}", t.proved, t.failed, t.skipped),
+            _ => "-".to_string(),
+        };
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>12}   {}",
+            name,
+            fmt_ns(transform_ns),
+            fmt_ns(vcgen_ns),
+            fmt_ns(kernel_ns),
+            fmt_ns(bitblast_ns),
+            fmt_ns(conformance_ns),
+            vcs
+        );
+    }
+
+    // Counters and histogram highlights.
+    println!("\ncounters:");
+    for (name, v) in &snap.counters {
+        println!("  {name:<28} {v}");
+    }
+    println!("\nhistograms:");
+    for (name, h) in snap.hist_summaries() {
+        // Histograms named `*_ns` (and bench samples) hold nanoseconds;
+        // the rest are plain counts (formula nodes, gate counts, ...).
+        let time_valued = name.contains("_ns") || name.starts_with("bench/");
+        let f = |v: u64| if time_valued { fmt_ns(v) } else { v.to_string() };
+        println!(
+            "  {name:<40} n={} p50={} p90={} p99={} max={}",
+            h.count,
+            f(h.p50),
+            f(h.p90),
+            f(h.p99),
+            f(h.max)
+        );
+    }
+
+    // Chrome trace export (CHICALA_TRACE_OUT overrides the default path).
+    let out_path = std::env::var("CHICALA_TRACE_OUT")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .unwrap_or_else(|| "telemetry_trace.json".to_string());
+    match telemetry::write_chrome_trace(Some(&out_path))? {
+        Some(p) => println!("\nwrote Chrome trace ({} spans) to {p}", snap.spans.len()),
+        None => println!("\nno trace written (telemetry disabled)"),
+    }
+    Ok(())
+}
