@@ -22,6 +22,7 @@ use chicala_bigint::BigInt;
 use chicala_chisel::{elaborate, Bindings, ElabKind, ElabModule, Simulator};
 use chicala_core::transform;
 use chicala_lowlevel::{constant_word, unroll, Netlist, Word};
+use chicala_par::ThreadPool;
 use chicala_seq::{SValue, SeqRunner};
 use chicala_telemetry as telemetry;
 use std::collections::BTreeMap;
@@ -484,9 +485,24 @@ pub fn replay_case(d: &Design, layer: Layer, case_seed: u64, max_width: u64) -> 
     check_case(d, layer, &case)
 }
 
+/// One slot of a layer's generated case stream, in generation order.
+enum Slot {
+    /// Skipped by a width cap (counted, never checked).
+    Skipped,
+    /// A case to check: `(case_seed, width_cap, case)`.
+    Job(u64, u64, Case),
+}
+
 /// Runs one design through the configured layers.
+///
+/// Case *checking* fans out across the scheduler's workers
+/// ([`ThreadPool::default_workers`], i.e. `CHICALA_WORKERS`); case
+/// *generation* and result folding stay sequential in generation order, so
+/// the report — stats, failure set, replay seeds — is byte-identical for
+/// every worker count (asserted by `tests/parallel_determinism.rs`).
 pub fn run_design(d: &Design, cfg: &Config) -> Report {
     let _design_span = telemetry::span!("conformance:{}", d.name);
+    let pool = ThreadPool::default();
     let mut report = Report::default();
     // Per-design stream: independent of registry order and of how many
     // cases other designs consumed, so any (design, case_seed) replays in
@@ -498,20 +514,43 @@ pub fn run_design(d: &Design, cfg: &Config) -> Report {
             .stats
             .entry((d.name.to_string(), layer))
             .or_default();
-        for _ in 0..cfg.cases {
-            let case_seed = rng.next_u64();
-            let width_cap = match layer {
-                Layer::Gates => cfg.max_width.min(d.gate_max_width),
-                _ => cfg.max_width,
-            };
-            let case = gen_case_for(d, layer, case_seed, width_cap);
-            if layer == Layer::Gates && case.width > d.gate_max_width {
+        // Generate the whole layer's case stream up front: the rng
+        // consumption order is part of the replay contract and must not
+        // depend on scheduling.
+        let slots: Vec<Slot> = (0..cfg.cases)
+            .map(|_| {
+                let case_seed = rng.next_u64();
+                let width_cap = match layer {
+                    Layer::Gates => cfg.max_width.min(d.gate_max_width),
+                    _ => cfg.max_width,
+                };
+                let case = gen_case_for(d, layer, case_seed, width_cap);
+                if layer == Layer::Gates && case.width > d.gate_max_width {
+                    Slot::Skipped
+                } else {
+                    Slot::Job(case_seed, width_cap, case)
+                }
+            })
+            .collect();
+        // Check every case in parallel; results come back in slot order.
+        // (With `stop_at_first`, slots past the first failure are checked
+        // but discarded by the fold — identical report, some spare work.)
+        let outcomes = pool.map_slice(&slots, |slot| match slot {
+            Slot::Skipped => None,
+            Slot::Job(_, _, case) => {
+                let started = Instant::now();
+                let outcome = check_case(d, layer, case);
+                Some((outcome, started.elapsed().as_nanos() as u64))
+            }
+        });
+        // Fold sequentially in generation order — the exact loop the
+        // sequential engine ran, minus the checking itself.
+        for (slot, checked) in slots.into_iter().zip(outcomes) {
+            let Slot::Job(case_seed, width_cap, case) = slot else {
                 stats.skipped += 1;
                 continue;
-            }
-            let started = Instant::now();
-            let outcome = check_case(d, layer, &case);
-            let elapsed_ns = started.elapsed().as_nanos() as u64;
+            };
+            let (outcome, elapsed_ns) = checked.expect("job slots produce results");
             telemetry::counter("conformance.cases", 1);
             if telemetry::enabled() {
                 telemetry::record(

@@ -23,22 +23,60 @@ struct Node {
     hi: Ref,
 }
 
+/// Default bound on the if-then-else memo table; see
+/// [`Bdd::ite_cache_limit`].
+pub const DEFAULT_ITE_CACHE_LIMIT: usize = 1 << 20;
+
 /// A BDD manager with a fixed variable order (variable index = level).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Bdd {
     nodes: Vec<Node>,
     unique: HashMap<Node, Ref>,
     ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    /// Entry bound for the `ite` memo table. The table is pure
+    /// memoization, so when an insert would exceed the bound the table is
+    /// cleared — results stay identical, memory stays bounded on long
+    /// equivalence-check runs.
+    pub ite_cache_limit: usize,
+}
+
+impl Default for Bdd {
+    fn default() -> Bdd {
+        Bdd::new()
+    }
 }
 
 impl Bdd {
     /// An empty manager.
     pub fn new() -> Bdd {
-        let mut b = Bdd { nodes: Vec::new(), unique: HashMap::new(), ite_cache: HashMap::new() };
+        let mut b = Bdd {
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            ite_cache_limit: DEFAULT_ITE_CACHE_LIMIT,
+        };
         // Slots 0 and 1 are the terminals; their stored fields are unused.
         b.nodes.push(Node { var: u32::MAX, lo: FALSE, hi: FALSE });
         b.nodes.push(Node { var: u32::MAX, lo: TRUE, hi: TRUE });
         b
+    }
+
+    /// Drops every node and cache entry, returning the manager to its
+    /// freshly-constructed state. `Ref`s obtained before the reset are
+    /// invalidated; call this between independent checks (e.g. per
+    /// bit-width sweeps) so the unique table cannot grow across them.
+    pub fn reset(&mut self) {
+        self.nodes.truncate(2);
+        self.unique.clear();
+        self.unique.shrink_to_fit();
+        self.ite_cache.clear();
+        self.ite_cache.shrink_to_fit();
+    }
+
+    /// Current entry count of the `ite` memo table (bounded by
+    /// [`Bdd::ite_cache_limit`]).
+    pub fn ite_cache_len(&self) -> usize {
+        self.ite_cache.len()
     }
 
     /// Number of live nodes (size measure for the blow-up experiment).
@@ -118,6 +156,9 @@ impl Bdd {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(var, lo, hi);
+        if self.ite_cache.len() >= self.ite_cache_limit {
+            self.ite_cache.clear();
+        }
         self.ite_cache.insert((f, g, h), r);
         r
     }
@@ -241,6 +282,38 @@ mod tests {
         let yz = b.or(y, z);
         let rhs = b.and(x, yz);
         assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ite_cache_stays_bounded() {
+        let mut b = Bdd::new();
+        b.ite_cache_limit = 8;
+        let vars: Vec<Ref> = (0..12).map(|i| b.var(i)).collect();
+        // Build a chain of distinct ite calls; the memo table must never
+        // exceed the limit, and results must stay correct.
+        let mut acc = vars[0];
+        for chunk in vars.windows(2) {
+            acc = b.ite(acc, chunk[0], chunk[1]);
+            assert!(b.ite_cache_len() <= 8);
+        }
+        let x = b.var(0);
+        assert_eq!(b.xor(x, x), FALSE);
+    }
+
+    #[test]
+    fn reset_reclaims_nodes() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let _ = b.and(x, y);
+        assert!(b.node_count() > 2);
+        b.reset();
+        assert_eq!(b.node_count(), 2);
+        assert_eq!(b.ite_cache_len(), 0);
+        // The manager is fully usable after a reset.
+        let x = b.var(0);
+        let nx = b.not(x);
+        assert_eq!(b.not(nx), x);
     }
 
     #[test]

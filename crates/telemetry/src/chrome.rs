@@ -2,9 +2,10 @@
 //! the trace-event format, loadable in `chrome://tracing` and
 //! `ui.perfetto.dev`.
 
-use crate::collect::Snapshot;
+use crate::collect::{Snapshot, SpanRecord};
 use crate::json::JsonValue;
 use std::cmp::Reverse;
+use std::collections::BTreeMap;
 
 /// Converts `snap` into Chrome trace-event JSON with paired `B`/`E`
 /// duration events (plus instant `i` events for recorded
@@ -15,12 +16,15 @@ use std::cmp::Reverse;
 pub fn chrome_trace(snap: &Snapshot) -> String {
     let mut events: Vec<JsonValue> = Vec::new();
 
-    let mut threads: Vec<u64> = snap.spans.iter().map(|s| s.thread).collect();
-    threads.sort_unstable();
-    threads.dedup();
+    // Group spans by thread in a single pass (a per-thread filter over all
+    // spans would be O(threads × spans)); BTreeMap keeps thread order
+    // deterministic.
+    let mut by_thread: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in &snap.spans {
+        by_thread.entry(s.thread).or_default().push(s);
+    }
 
-    for tid in threads {
-        let mut spans: Vec<_> = snap.spans.iter().filter(|s| s.thread == tid).collect();
+    for (tid, mut spans) in by_thread {
         spans.sort_by_key(|s| {
             (s.start_ns, Reverse(s.start_ns.saturating_add(s.dur_ns)), s.depth)
         });

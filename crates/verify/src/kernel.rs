@@ -17,12 +17,13 @@
 //! and every step is re-checked by the automatic core, so the trusted base
 //! is the axiom list plus this module.
 
-use crate::linarith::{refute, LinCon, Refutation};
-use crate::poly::{assume_ite, find_ite, normalize, Monomial, Poly};
+use crate::linarith::{intern_con, refute_ids, refute_refs, ConId, LinCon, Refutation};
+use crate::poly::{assume_ite, find_ite, Monomial, Poly};
+use crate::store::{self, TermId};
 use crate::term::{Formula, Sym, Term};
 use chicala_bigint::BigInt;
 use chicala_telemetry as telemetry;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// A defined (possibly recursive) function: `name(params) = body`.
@@ -535,6 +536,10 @@ impl Env {
 
     /// The automatic core.
     fn auto(&self, hyps: &[Formula], goal: &Formula) -> Result<(), ProofError> {
+        // No ids are live at a proof boundary: bound both interners'
+        // growth (the term arena and the linear-constraint store).
+        store::gc_checkpoint();
+        crate::linarith::gc_checkpoint();
         telemetry::counter("kernel.auto_calls", 1);
         let mut splits = self.limits.ite_splits;
         let r = self.auto_split(hyps.to_vec(), goal.clone(), &mut splits);
@@ -748,7 +753,7 @@ impl Env {
             for (p, k) in snapshot {
                 let t = p.to_term();
                 let rt = deep_reduce_term(&t, &rules, &mut deep_cap, 0);
-                if let Ok(mut rp) = normalize(&rt) {
+                if let Ok(mut rp) = store::normalize_cached(&rt) {
                     reduce_poly(&mut rp, &rules, &mut cap);
                     if rp != p {
                         all.push((rp, k));
@@ -769,7 +774,7 @@ impl Env {
             }
             set
         };
-        if self.filtered_refute_opt(&cons, &seed_idx, true) == Refutation::Unsat {
+        if self.filtered_refute_opt(&mut atoms, &cons, &seed_idx, true) == Refutation::Unsat {
             return Ok(());
         }
 
@@ -786,7 +791,7 @@ impl Env {
                 break;
             }
         }
-        if self.filtered_refute_opt(&cons, &seed_idx, true) == Refutation::Unsat {
+        if self.filtered_refute_opt(&mut atoms, &cons, &seed_idx, true) == Refutation::Unsat {
             return Ok(());
         }
 
@@ -805,7 +810,7 @@ impl Env {
             for (p, k) in snapshot {
                 let t = p.to_term();
                 let rt = deep_reduce_term(&t, &rules2, &mut deep_cap, 0);
-                if let Ok(mut rp) = normalize(&rt) {
+                if let Ok(mut rp) = store::normalize_cached(&rt) {
                     reduce_poly(&mut rp, &rules2, &mut cap);
                     if rp != p {
                         all.push((rp.clone(), k.clone()));
@@ -824,7 +829,7 @@ impl Env {
                     break;
                 }
             }
-            if self.filtered_refute_opt(&cons, &seed_idx, true) == Refutation::Unsat {
+            if self.filtered_refute_opt(&mut atoms, &cons, &seed_idx, true) == Refutation::Unsat {
                 return Ok(());
             }
             rules2
@@ -925,7 +930,7 @@ impl Env {
                 break;
             }
         }
-        let outcome = self.filtered_refute(&cons, &seed_idx);
+        let outcome = self.filtered_refute(&mut atoms, &cons, &seed_idx);
         telemetry::counter("kernel.rewrites", (40_000 - cap) as u64);
         if outcome != Refutation::Unsat && telemetry::enabled() {
             // The old CHICALA_DUMP_CONS eprintln dump, now a capturable
@@ -965,14 +970,16 @@ impl Env {
     /// the full set.
     fn filtered_refute(
         &self,
+        atoms: &mut AtomTable,
         cons: &[LinCon],
         seeds: &std::collections::BTreeSet<usize>,
     ) -> Refutation {
-        self.filtered_refute_opt(cons, seeds, false)
+        self.filtered_refute_opt(atoms, cons, seeds, false)
     }
 
     fn filtered_refute_opt(
         &self,
+        atoms: &mut AtomTable,
         cons: &[LinCon],
         seeds: &std::collections::BTreeSet<usize>,
         light: bool,
@@ -980,31 +987,22 @@ impl Env {
         if self.past_deadline() {
             return Refutation::Overflow;
         }
-        if !seeds.is_empty() {
-            // Order constraints by the BFS round (shared-atom distance from
-            // the negated goal) at which they join, then try growing
-            // prefixes: certificates tend to be local.
-            let mut rel = seeds.clone();
-            let mut order: Vec<usize> = Vec::new();
-            let mut chosen = vec![false; cons.len()];
-            loop {
-                let snapshot = rel.clone();
-                let mut grew = false;
-                for (i, c) in cons.iter().enumerate() {
-                    if chosen[i] {
-                        continue;
-                    }
-                    if c.coeffs.keys().any(|k| snapshot.contains(k)) {
-                        chosen[i] = true;
-                        order.push(i);
-                        rel.extend(c.coeffs.keys().copied());
-                        grew = true;
-                    }
-                }
-                if !grew {
-                    break;
-                }
+        // Interned ids when every constraint fits i128 (the common case):
+        // each subset attempt is then a `Vec` of `Copy` ids instead of a
+        // re-converted borrow list.
+        let use_ids = atoms.sync_con_ids(cons);
+        let run = |atoms: &AtomTable, idxs: &[usize]| -> Refutation {
+            if use_ids {
+                let sub: Vec<ConId> =
+                    idxs.iter().map(|&i| atoms.con_ids[i].expect("synced")).collect();
+                refute_ids(&sub, self.limits.fm_budget)
+            } else {
+                let sub: Vec<&LinCon> = idxs.iter().map(|&i| &cons[i]).collect();
+                refute_refs(&sub, self.limits.fm_budget)
             }
+        };
+        if !seeds.is_empty() {
+            let order = relevance_order(cons, seeds);
             for cap in [24usize, 64, 160] {
                 if cap >= order.len() {
                     break;
@@ -1012,9 +1010,7 @@ impl Env {
                 if self.past_deadline() {
                     return Refutation::Overflow;
                 }
-                let sub: Vec<LinCon> =
-                    order[..cap].iter().map(|&i| cons[i].clone()).collect();
-                if refute(sub, self.limits.fm_budget) == Refutation::Unsat {
+                if run(atoms, &order[..cap]) == Refutation::Unsat {
                     return Refutation::Unsat;
                 }
             }
@@ -1022,21 +1018,20 @@ impl Env {
                 // Intermediate tiers stop at a mid-size attempt; the final
                 // tier pays for the full system.
                 let take = order.len().min(240);
-                let sub: Vec<LinCon> =
-                    order[..take].iter().map(|&i| cons[i].clone()).collect();
-                return refute(sub, self.limits.fm_budget);
+                return run(atoms, &order[..take]);
             }
-            if order.len() < cons.len() && !self.past_deadline() {
-                let sub: Vec<LinCon> = order.iter().map(|&i| cons[i].clone()).collect();
-                if refute(sub, self.limits.fm_budget) == Refutation::Unsat {
-                    return Refutation::Unsat;
-                }
+            if order.len() < cons.len()
+                && !self.past_deadline()
+                && run(atoms, &order) == Refutation::Unsat
+            {
+                return Refutation::Unsat;
             }
         }
         if self.past_deadline() {
             return Refutation::Overflow;
         }
-        refute(cons.to_vec(), self.limits.fm_budget)
+        let all: Vec<usize> = (0..cons.len()).collect();
+        run(atoms, &all)
     }
 
     /// Adds range facts for `Div` sub-terms with provably positive
@@ -1051,11 +1046,12 @@ impl Env {
         cap: &mut usize,
         eq_facts: &mut Vec<Poly>,
     ) -> bool {
-        // Collect every Div/Pow2 sub-term reachable from the current atoms.
-        let mut candidates: Vec<Term> = Vec::new();
-        for atom in atoms.atoms.clone() {
-            collect_fact_terms(&atom, &mut candidates);
-        }
+        // Collect every Div/Pow2 sub-term reachable from the current atoms
+        // (incrementally: only atoms added since the previous round are
+        // walked; the persistent candidate list is taken out for the
+        // duration of the round and restored before returning).
+        atoms.collect_new_candidates();
+        let candidates = std::mem::take(&mut atoms.candidates);
         telemetry::counter("kernel.saturation_rounds", 1);
         if telemetry::enabled() {
             telemetry::record("kernel.saturation_candidates", candidates.len() as u64);
@@ -1063,8 +1059,8 @@ impl Env {
         }
         let mut added = false;
         // Divisor-positivity probes repeat heavily (many atoms share the
-        // same divisor): cache within this round.
-        let mut div_pos_cache: BTreeMap<Term, bool> = BTreeMap::new();
+        // same divisor): cache within this round, keyed by interned id.
+        let mut div_pos_cache: HashMap<TermId, bool> = HashMap::new();
         let push_fact = |poly_res: Result<Poly, String>,
                              extra: BigInt,
                              atoms: &mut AtomTable,
@@ -1082,16 +1078,17 @@ impl Env {
         for t in &candidates {
             match t {
                 Term::Div(a, b) => {
-                    let b_pos = match div_pos_cache.get(b.as_ref()) {
+                    let bid = store::intern(b);
+                    let b_pos = match div_pos_cache.get(&bid) {
                         Some(&v) => v,
                         None => {
                             let v = self.implies_positive(atoms, cons, b);
-                            div_pos_cache.insert((**b).clone(), v);
+                            div_pos_cache.insert(bid, v);
                             v
                         }
                     };
                     if !atoms.fact_done(t) && b_pos {
-                        atoms.mark_fact(t.clone());
+                        atoms.mark_fact(t);
                         // r = a - b*(a/b); 0 <= r <= b - 1.
                         let r = (**a).clone().sub((**b).clone().mul(t.clone()));
                         added |= push_fact(
@@ -1118,7 +1115,7 @@ impl Env {
                     //   a >= b  ==>  a/b >= 1
                     if atoms.fact_done(t) {
                         if !atoms.sign_done(t, 0) && self.implies_nonneg(atoms, cons, a) {
-                            atoms.mark_sign(t.clone(), 0);
+                            atoms.mark_sign(t, 0);
                             added |= push_fact(
                                 sub_norm(t, &Term::int(0)),
                                 BigInt::zero(),
@@ -1132,7 +1129,7 @@ impl Env {
                         if !atoms.sign_done(t, 1)
                             && self.implies_nonneg(atoms, cons, &b_minus_1_minus_a)
                         {
-                            atoms.mark_sign(t.clone(), 1);
+                            atoms.mark_sign(t, 1);
                             added |= push_fact(
                                 sub_norm(&Term::int(0), t),
                                 BigInt::zero(),
@@ -1145,7 +1142,7 @@ impl Env {
                         if !atoms.sign_done(t, 2)
                             && self.implies_nonneg(atoms, cons, &a_minus_b)
                         {
-                            atoms.mark_sign(t.clone(), 2);
+                            atoms.mark_sign(t, 2);
                             added |= push_fact(
                                 sub_norm(t, &Term::int(1)),
                                 BigInt::zero(),
@@ -1160,7 +1157,7 @@ impl Env {
                     if atoms.fact_done(t) {
                         continue;
                     }
-                    atoms.mark_fact(t.clone());
+                    atoms.mark_fact(t);
                     // Pow2(e) >= 1 (clamped semantics) and Pow2(e) >= e + 1.
                     added |= push_fact(
                         sub_norm(t, &Term::int(1)),
@@ -1190,7 +1187,7 @@ impl Env {
             let existing_args: Vec<(Term, Poly)> = pows
                 .iter()
                 .filter_map(|t| match t {
-                    Term::Pow2(e) => normalize(e).ok().map(|p| ((**e).clone(), p)),
+                    Term::Pow2(e) => store::normalize_cached(e).ok().map(|p| ((**e).clone(), p)),
                     _ => None,
                 })
                 .collect();
@@ -1199,7 +1196,7 @@ impl Env {
                 if atoms.shift_done(t) {
                     continue;
                 }
-                let Ok(parg) = normalize(e) else { continue };
+                let Ok(parg) = store::normalize_cached(e) else { continue };
                 let k = parg
                     .terms
                     .get(&Vec::new() as &Monomial)
@@ -1233,9 +1230,9 @@ impl Env {
                 if !base_exists && kk > 2 {
                     continue;
                 }
-                atoms.mark_shift(t.clone());
+                atoms.mark_shift(t);
                 let fact = hi_term.sub(Term::Const(BigInt::pow2(kk)).mul(lo_term));
-                if let Ok(p) = normalize(&fact) {
+                if let Ok(p) = store::normalize_cached(&fact) {
                     // Equality as two inequalities for the linear core,
                     // and as an equality poly for rule rebuilding.
                     cons.push(atoms.lincon(&p, BigInt::zero()));
@@ -1257,7 +1254,7 @@ impl Env {
                     if atoms.prodp_done(t1, t2) {
                         continue;
                     }
-                    let (Ok(p1), Ok(p2)) = (normalize(e1), normalize(e2)) else { continue };
+                    let (Ok(p1), Ok(p2)) = (store::normalize_cached(e1), store::normalize_cached(e2)) else { continue };
                     let mut sum = p1.clone();
                     sum.add(&p2);
                     let target = existing_args.iter().find(|(_, p)| *p == sum);
@@ -1267,12 +1264,12 @@ impl Env {
                     {
                         continue;
                     }
-                    atoms.mark_prodp(t1.clone(), t2.clone());
+                    atoms.mark_prodp(t1, t2);
                     let fact = t1
                         .clone()
                         .mul(t2.clone())
                         .sub(Term::pow2(target_arg.clone()));
-                    if let Ok(p) = normalize(&fact) {
+                    if let Ok(p) = store::normalize_cached(&fact) {
                         cons.push(atoms.lincon(&p, BigInt::zero()));
                         let mut n = p.clone();
                         n.scale(&BigInt::from(-1));
@@ -1295,11 +1292,12 @@ impl Env {
                 let (Term::Pow2(e1), Term::Pow2(e2)) = (p1, p2) else { continue };
                 let diff = (**e2).clone().sub((**e1).clone());
                 if self.implies_nonneg(atoms, cons, &diff) {
-                    atoms.mark_mono(p1.clone(), p2.clone());
+                    atoms.mark_mono(p1, p2);
                     added |= push_fact(sub_norm(p2, p1), BigInt::zero(), atoms, cons, cap);
                 }
             }
         }
+        atoms.candidates = candidates;
         added
     }
 
@@ -1314,58 +1312,76 @@ impl Env {
             return true;
         }
         let probe_con = atoms.lincon(&p, BigInt::zero());
-        let seeds: std::collections::BTreeSet<usize> = probe_con.coeffs.keys().copied().collect();
-        let mut probe = cons.to_vec();
-        probe.push(probe_con);
-        matches!(self.probe_refute(&probe, &seeds), Refutation::Unsat)
+        matches!(self.probe_refute(atoms, cons, probe_con), Refutation::Unsat)
     }
 
     /// A cheaper refutation used by saturation probes: small relevance
     /// prefixes with a reduced budget (probes are asked often and usually
-    /// have local certificates).
+    /// have local certificates). `probe_con` is the negated fact being
+    /// probed; it is appended to `cons` (by reference — the constraint set
+    /// itself is never cloned) and seeds the relevance filter.
     fn probe_refute(
         &self,
+        atoms: &mut AtomTable,
         cons: &[LinCon],
-        seeds: &std::collections::BTreeSet<usize>,
+        probe_con: LinCon,
     ) -> Refutation {
         let budget = self.limits.fm_budget / 4;
+        let seeds: std::collections::BTreeSet<usize> =
+            probe_con.coeffs.keys().copied().collect();
         if !seeds.is_empty() {
-            let mut rel = seeds.clone();
-            let mut order: Vec<usize> = Vec::new();
-            let mut chosen = vec![false; cons.len()];
-            loop {
-                let snapshot = rel.clone();
-                let mut grew = false;
-                for (i, c) in cons.iter().enumerate() {
-                    if chosen[i] {
-                        continue;
+            // The probe constraint itself participates in the BFS as a
+            // virtual last element of `cons`.
+            let order = relevance_order_with(cons, &seeds, &probe_con);
+            // Id path: the case's constraints are interned once; each
+            // prefix is a copy of machine words and a memoised repeat
+            // costs an id sort.
+            if atoms.sync_con_ids(cons) {
+                if let Some(probe_id) = intern_con(&probe_con) {
+                    let id_at = |i: usize| -> ConId {
+                        if i == cons.len() {
+                            probe_id
+                        } else {
+                            atoms.con_ids[i].expect("synced")
+                        }
+                    };
+                    for cap in [32usize, 96] {
+                        let take = cap.min(order.len());
+                        let sub: Vec<ConId> = order[..take].iter().map(|&i| id_at(i)).collect();
+                        if refute_ids(&sub, budget) == Refutation::Unsat {
+                            return Refutation::Unsat;
+                        }
+                        if take == order.len() {
+                            return Refutation::Unknown;
+                        }
                     }
-                    if c.coeffs.keys().any(|k| snapshot.contains(k)) {
-                        chosen[i] = true;
-                        order.push(i);
-                        rel.extend(c.coeffs.keys().copied());
-                        grew = true;
-                    }
-                }
-                if !grew {
-                    break;
+                    let sub: Vec<ConId> = order.iter().map(|&i| id_at(i)).collect();
+                    return refute_ids(&sub, budget);
                 }
             }
+            // i128-overflow fallback: borrowed constraints.
             for cap in [32usize, 96] {
                 let take = cap.min(order.len());
-                let sub: Vec<LinCon> =
-                    order[..take].iter().map(|&i| cons[i].clone()).collect();
-                if refute(sub, budget) == Refutation::Unsat {
+                let sub: Vec<&LinCon> = order[..take]
+                    .iter()
+                    .map(|&i| if i == cons.len() { &probe_con } else { &cons[i] })
+                    .collect();
+                if refute_refs(&sub, budget) == Refutation::Unsat {
                     return Refutation::Unsat;
                 }
                 if take == order.len() {
                     return Refutation::Unknown;
                 }
             }
-            let sub: Vec<LinCon> = order.iter().map(|&i| cons[i].clone()).collect();
-            return refute(sub, budget);
+            let sub: Vec<&LinCon> = order
+                .iter()
+                .map(|&i| if i == cons.len() { &probe_con } else { &cons[i] })
+                .collect();
+            return refute_refs(&sub, budget);
         }
-        refute(cons.to_vec(), budget)
+        let mut sub: Vec<&LinCon> = cons.iter().collect();
+        sub.push(&probe_con);
+        refute_refs(&sub, budget)
     }
 
     fn implies_nonneg(&self, atoms: &mut AtomTable, cons: &[LinCon], d: &Term) -> bool {
@@ -1375,11 +1391,90 @@ impl Env {
             return !(-c).is_negative();
         }
         let probe_con = atoms.lincon(&p, BigInt::from(-1));
-        let seeds: std::collections::BTreeSet<usize> = probe_con.coeffs.keys().copied().collect();
-        let mut probe = cons.to_vec();
-        probe.push(probe_con);
-        matches!(self.probe_refute(&probe, &seeds), Refutation::Unsat)
+        matches!(self.probe_refute(atoms, cons, probe_con), Refutation::Unsat)
     }
+}
+
+/// Orders constraints by the BFS round (shared-atom distance from the seed
+/// atoms) at which they join, ties within a round broken by constraint
+/// index — certificates tend to be local, so callers try growing prefixes
+/// of this order. Single pass: an atom → constraints incidence index is
+/// built once, then each BFS round only touches the constraints incident
+/// to atoms that joined in the previous round (the old implementation
+/// rescanned the full constraint set every round).
+fn relevance_order(cons: &[LinCon], seeds: &std::collections::BTreeSet<usize>) -> Vec<usize> {
+    relevance_order_impl(cons, seeds, None)
+}
+
+/// [`relevance_order`] with one extra virtual constraint at index
+/// `cons.len()` (the probe constraint), avoiding a clone of `cons`.
+fn relevance_order_with(
+    cons: &[LinCon],
+    seeds: &std::collections::BTreeSet<usize>,
+    extra: &LinCon,
+) -> Vec<usize> {
+    relevance_order_impl(cons, seeds, Some(extra))
+}
+
+fn relevance_order_impl(
+    cons: &[LinCon],
+    seeds: &std::collections::BTreeSet<usize>,
+    extra: Option<&LinCon>,
+) -> Vec<usize> {
+    let total = cons.len() + extra.is_some() as usize;
+    let con_at = |i: usize| -> &LinCon {
+        if i < cons.len() {
+            &cons[i]
+        } else {
+            extra.expect("index beyond cons only with extra")
+        }
+    };
+    let max_atom = (0..total)
+        .flat_map(|i| con_at(i).coeffs.keys().copied())
+        .chain(seeds.iter().copied())
+        .max();
+    let Some(max_atom) = max_atom else { return Vec::new() };
+    // Atom -> incident constraint indices, one pass.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); max_atom + 1];
+    for i in 0..total {
+        for &k in con_at(i).coeffs.keys() {
+            adj[k].push(i as u32);
+        }
+    }
+    let mut in_rel = vec![false; max_atom + 1];
+    let mut chosen = vec![false; total];
+    let mut order: Vec<usize> = Vec::new();
+    let mut frontier: Vec<usize> = seeds.iter().copied().collect();
+    for &a in &frontier {
+        in_rel[a] = true;
+    }
+    while !frontier.is_empty() {
+        let mut round: Vec<u32> = Vec::new();
+        for &a in &frontier {
+            for &ci in &adj[a] {
+                if !chosen[ci as usize] {
+                    chosen[ci as usize] = true;
+                    round.push(ci);
+                }
+            }
+        }
+        // Within a round, constraints join in index order (this matches
+        // the original full-rescan order exactly, so prefix contents are
+        // unchanged).
+        round.sort_unstable();
+        let mut next: Vec<usize> = Vec::new();
+        for &ci in &round {
+            order.push(ci as usize);
+            for &k in con_at(ci as usize).coeffs.keys() {
+                if !in_rel[k] {
+                    in_rel[k] = true;
+                    next.push(k);
+                }
+            }
+        }
+        frontier = next;
+    }
+    order
 }
 
 /// A polynomial rewrite rule `coeff * monomial == -tail` (with
@@ -1436,7 +1531,7 @@ fn choose_rule_monomial(p: &Poly) -> Option<(Monomial, BigInt)> {
             if n == m {
                 return false;
             }
-            n.iter().any(|atom| atom.free_vars().contains(x))
+            n.iter().any(|atom| store::has_free_var(atom, x))
         });
         if !occurs_elsewhere {
             return Some((m.clone(), c.clone()));
@@ -1449,7 +1544,7 @@ fn choose_rule_monomial(p: &Poly) -> Option<(Monomial, BigInt)> {
             let ((m1, c1), (m2, c2)) = (entries[0], entries[1]);
             if m1.len() == 1 && m2.len() == 1 {
                 if let (Term::Pow2(e1), Term::Pow2(e2)) = (&m1[0], &m2[0]) {
-                    if let (Ok(p1), Ok(p2)) = (normalize(e1), normalize(e2)) {
+                    if let (Ok(p1), Ok(p2)) = (store::normalize_cached(e1), store::normalize_cached(e2)) {
                         let mut diff = p1;
                         let mut n2 = p2;
                         n2.scale(&BigInt::from(-1));
@@ -1580,14 +1675,14 @@ fn deep_reduce_atom(a: &Term, rules: &[Rule], cap: &mut usize, depth: usize) -> 
 /// Normalises, unit-reduces, and atom-rebuilds a term to a canonical form
 /// modulo the hypothesis equalities.
 fn deep_reduce_term(t: &Term, rules: &[Rule], cap: &mut usize, depth: usize) -> Term {
-    let Ok(mut p) = normalize(t) else { return t.clone() };
+    let Ok(mut p) = store::normalize_cached(t) else { return t.clone() };
     reduce_poly_unit(&mut p, rules, cap);
     let mut out = Poly::zero();
     for (m, c) in &p.terms {
         let mut mono = Poly::constant(c.clone());
         for atom in m {
             let rebuilt = deep_reduce_atom(atom, rules, cap, depth);
-            let ap = normalize(&rebuilt).unwrap_or_else(|_| Poly::atom(rebuilt));
+            let ap = store::normalize_cached(&rebuilt).unwrap_or_else(|_| Poly::atom(rebuilt));
             mono = mono.mul(&ap);
         }
         out.add(&mono);
@@ -1597,41 +1692,42 @@ fn deep_reduce_term(t: &Term, rules: &[Rule], cap: &mut usize, depth: usize) -> 
 }
 
 /// Collects `Div` and `Pow2` sub-terms (for fact generation), recursively.
-fn collect_fact_terms(t: &Term, out: &mut Vec<Term>) {
+/// `seen` dedups across calls by interned id (first occurrence kept).
+fn collect_fact_terms(t: &Term, out: &mut Vec<Term>, seen: &mut HashSet<TermId>) {
     match t {
         Term::Div(a, b) => {
-            if !out.contains(t) {
+            if seen.insert(store::intern(t)) {
                 out.push(t.clone());
             }
-            collect_fact_terms(a, out);
-            collect_fact_terms(b, out);
+            collect_fact_terms(a, out, seen);
+            collect_fact_terms(b, out, seen);
         }
         Term::Pow2(e) => {
-            if !out.contains(t) {
+            if seen.insert(store::intern(t)) {
                 out.push(t.clone());
             }
-            collect_fact_terms(e, out);
+            collect_fact_terms(e, out, seen);
         }
         Term::Const(_) | Term::Var(_) => {}
         Term::Add(ts) | Term::Mul(ts) | Term::App(_, ts) => {
             for x in ts {
-                collect_fact_terms(x, out);
+                collect_fact_terms(x, out, seen);
             }
         }
         Term::Mod(a, b) | Term::BitAnd(a, b) | Term::BitOr(a, b) | Term::BitXor(a, b) => {
-            collect_fact_terms(a, out);
-            collect_fact_terms(b, out);
+            collect_fact_terms(a, out, seen);
+            collect_fact_terms(b, out, seen);
         }
         Term::Ite(_, a, b) => {
-            collect_fact_terms(a, out);
-            collect_fact_terms(b, out);
+            collect_fact_terms(a, out, seen);
+            collect_fact_terms(b, out, seen);
         }
     }
 }
 
-/// `normalize(b - a)`.
+/// `store::normalize_cached(b - a)`.
 fn sub_norm(b: &Term, a: &Term) -> Result<Poly, String> {
-    normalize(&b.clone().sub(a.clone()))
+    store::normalize_cached(&b.clone().sub(a.clone()))
         .map_err(|e| format!("unsplit conditional survived: {}", e.0))
 }
 
@@ -1880,7 +1976,7 @@ fn ineq_atom_products(
         } else {
             Term::Mul(parts)
         };
-        atoms.index.get(&t).copied()
+        atoms.index.get(&store::intern(&t)).copied()
     };
     let snapshot: Vec<LinCon> = cons.clone();
     let mut added = false;
@@ -1927,67 +2023,115 @@ fn ineq_atom_products(
 }
 
 /// Atom interning: maps monomials to linear-arithmetic variable indices.
+///
+/// Done-sets and the atom index are keyed by hash-consed [`TermId`]s —
+/// probes are an intern walk (shallow per-node hashing, cache hit on every
+/// already-seen node) plus one `HashSet` lookup, instead of the deep
+/// `Term` clones and `BTreeMap` comparisons they used to be. The `Term`
+/// values themselves stay in `atoms` for the structural inspections proof
+/// search needs (rule orientation, product bounding).
 #[derive(Default)]
 struct AtomTable {
     atoms: Vec<Term>,
-    index: BTreeMap<Term, usize>,
-    facts: BTreeMap<Term, ()>,
-    mono: BTreeMap<(Term, Term), ()>,
+    index: HashMap<TermId, usize>,
+    facts: HashSet<TermId>,
+    mono: HashSet<(TermId, TermId)>,
     prod_done: BTreeMap<(usize, i8, i8, BigInt, BigInt), ()>,
-    shift_done: BTreeMap<Term, ()>,
-    prodp_done: BTreeMap<(Term, Term), ()>,
-    sign_done: BTreeMap<(Term, u8), ()>,
+    shift_done: HashSet<TermId>,
+    prodp_done: HashSet<(TermId, TermId)>,
+    sign_done: HashSet<(TermId, u8)>,
+    /// High-water mark: atoms below this index have been scanned for
+    /// `Div`/`Pow2` fact candidates.
+    scanned: usize,
+    /// Fact candidates in first-seen DFS order. Because `atoms` is
+    /// append-only, scanning only `atoms[scanned..]` each saturation round
+    /// and appending unseen sub-terms yields exactly the list a full
+    /// rescan would (the old behaviour), without the O(rounds × atoms)
+    /// re-walk or the O(n²) `Vec::contains` dedup.
+    candidates: Vec<Term>,
+    /// Ids of terms already in `candidates`.
+    candidate_seen: HashSet<TermId>,
+    /// Interned mirror of the case's constraint system: `con_ids[i]` is
+    /// the [`ConId`] of the `i`-th constraint (`None` on i128 overflow).
+    /// The system is append-only, so the mirror extends lazily and every
+    /// relevance prefix becomes a `Vec` of `Copy` ids — refutation probes
+    /// stop re-converting coefficients on every call.
+    con_ids: Vec<Option<ConId>>,
+    /// Whether any mirrored constraint failed to intern.
+    con_ids_bad: bool,
 }
 
 impl AtomTable {
     fn intern(&mut self, t: Term) -> usize {
-        if let Some(&i) = self.index.get(&t) {
+        let tid = store::intern(&t);
+        if let Some(&i) = self.index.get(&tid) {
             return i;
         }
         let i = self.atoms.len();
-        self.atoms.push(t.clone());
-        self.index.insert(t, i);
+        self.atoms.push(t);
+        self.index.insert(tid, i);
         i
     }
 
-    fn fact_done(&self, t: &Term) -> bool {
-        self.facts.contains_key(t)
+    /// Extends the interned-constraint mirror to cover `cons`; returns
+    /// whether every constraint (including earlier ones) interned.
+    fn sync_con_ids(&mut self, cons: &[LinCon]) -> bool {
+        while self.con_ids.len() < cons.len() {
+            let id = intern_con(&cons[self.con_ids.len()]);
+            self.con_ids_bad |= id.is_none();
+            self.con_ids.push(id);
+        }
+        !self.con_ids_bad
     }
 
-    fn mark_fact(&mut self, t: Term) {
-        self.facts.insert(t, ());
+    /// Scans atoms added since the last call, appending their `Div`/`Pow2`
+    /// sub-terms (first occurrence only) to the persistent candidate list.
+    fn collect_new_candidates(&mut self) {
+        while self.scanned < self.atoms.len() {
+            let t = self.atoms[self.scanned].clone();
+            self.scanned += 1;
+            collect_fact_terms(&t, &mut self.candidates, &mut self.candidate_seen);
+        }
+    }
+
+    fn fact_done(&self, t: &Term) -> bool {
+        self.facts.contains(&store::intern(t))
+    }
+
+    fn mark_fact(&mut self, t: &Term) {
+        self.facts.insert(store::intern(t));
     }
 
     fn mono_done(&self, a: &Term, b: &Term) -> bool {
-        self.mono.contains_key(&(a.clone(), b.clone()))
+        self.mono.contains(&(store::intern(a), store::intern(b)))
     }
 
     fn shift_done(&self, t: &Term) -> bool {
-        self.shift_done.contains_key(t)
+        self.shift_done.contains(&store::intern(t))
     }
 
     fn sign_done(&self, t: &Term, which: u8) -> bool {
-        self.sign_done.contains_key(&(t.clone(), which))
+        self.sign_done.contains(&(store::intern(t), which))
     }
 
-    fn mark_sign(&mut self, t: Term, which: u8) {
-        self.sign_done.insert((t, which), ());
+    fn mark_sign(&mut self, t: &Term, which: u8) {
+        self.sign_done.insert((store::intern(t), which));
     }
 
-    fn mark_shift(&mut self, t: Term) {
-        self.shift_done.insert(t, ());
+    fn mark_shift(&mut self, t: &Term) {
+        self.shift_done.insert(store::intern(t));
     }
 
     fn prodp_done(&self, a: &Term, b: &Term) -> bool {
-        self.prodp_done.contains_key(&(a.clone(), b.clone()))
+        self.prodp_done.contains(&(store::intern(a), store::intern(b)))
     }
 
-    fn mark_prodp(&mut self, a: Term, b: Term) {
-        self.prodp_done.insert((a, b), ());
+    fn mark_prodp(&mut self, a: &Term, b: &Term) {
+        self.prodp_done.insert((store::intern(a), store::intern(b)));
     }
 
-    fn mark_mono(&mut self, a: Term, b: Term) {
-        self.mono.insert((a, b), ());
+    fn mark_mono(&mut self, a: &Term, b: &Term) {
+        self.mono.insert((store::intern(a), store::intern(b)));
     }
 
     /// Converts a polynomial (plus an extra constant) to a constraint

@@ -17,6 +17,7 @@ mod axioms;
 mod kernel;
 mod linarith;
 mod poly;
+pub mod store;
 mod term;
 mod vcgen;
 
@@ -34,6 +35,7 @@ pub fn refute_micros() -> u64 {
     linarith::REFUTE_MICROS.load(std::sync::atomic::Ordering::Relaxed)
 }
 pub use poly::{assume_ite, find_ite, normalize, ItePresent, Poly};
+pub use store::{normalize_cached, TermId, TermStore};
 pub use term::{Formula, Sym, Term};
 pub use vcgen::{
     discharge_vc, generate_vcs, prepare_env, verify_design, DesignSpec, SymState, SymValue, Vc,

@@ -85,54 +85,21 @@ pub static REFUTE_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::Atomi
 /// Total microseconds spent inside [`refute`].
 pub static REFUTE_MICROS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
-pub fn refute(mut cons: Vec<LinCon>, budget: usize) -> Refutation {
+pub fn refute(cons: Vec<LinCon>, budget: usize) -> Refutation {
+    let refs: Vec<&LinCon> = cons.iter().collect();
+    refute_refs(&refs, budget)
+}
+
+/// Borrow-based [`refute`]: the kernel's relevance filters and saturation
+/// probes pose thousands of overlapping sub-systems per verification
+/// condition, and cloning each subset (a `BTreeMap` allocation plus a
+/// `BigInt` clone per coefficient) used to dominate probe cost. The i128
+/// fast representation is built straight from the borrowed constraints,
+/// and the memo key is the canonicalised fast system itself — a `Vec` of
+/// machine integers — instead of a rendered string.
+pub fn refute_refs(cons: &[&LinCon], budget: usize) -> Refutation {
     let start = std::time::Instant::now();
-    // Small systems are cheaper to solve than to memoise.
-    if cons.len() < 24 {
-        let r = refute_inner(cons, budget);
-        REFUTE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        REFUTE_MICROS.fetch_add(
-            start.elapsed().as_micros() as u64,
-            std::sync::atomic::Ordering::Relaxed,
-        );
-        return r;
-    }
-    // Memoise: the tiered prover and its Have/Use chains re-pose identical
-    // systems many times (per hypothesis case, per chain step). The key is
-    // exact (canonicalised constraints + budget), so hits are sound.
-    cons.sort_by(|a, b| {
-        let ka: Vec<(usize, &BigInt)> = a.coeffs.iter().map(|(&i, c)| (i, c)).collect();
-        let kb: Vec<(usize, &BigInt)> = b.coeffs.iter().map(|(&i, c)| (i, c)).collect();
-        ka.cmp(&kb).then_with(|| a.constant.cmp(&b.constant))
-    });
-    let key = {
-        let mut k = String::with_capacity(cons.len() * 16);
-        k.push_str(&budget.to_string());
-        for c in &cons {
-            k.push(';');
-            for (i, v) in &c.coeffs {
-                k.push_str(&i.to_string());
-                k.push(':');
-                k.push_str(&v.to_string());
-                k.push(',');
-            }
-            k.push('#');
-            k.push_str(&c.constant.to_string());
-        }
-        k
-    };
-    let cached = CACHE.with(|c| c.borrow().get(&key).copied());
-    if let Some(r) = cached {
-        return r;
-    }
     let r = refute_inner(cons, budget);
-    CACHE.with(|c| {
-        let mut map = c.borrow_mut();
-        if map.len() > 200_000 {
-            map.clear();
-        }
-        map.insert(key, r);
-    });
     REFUTE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     REFUTE_MICROS.fetch_add(
         start.elapsed().as_micros() as u64,
@@ -141,36 +108,157 @@ pub fn refute(mut cons: Vec<LinCon>, budget: usize) -> Refutation {
     r
 }
 
-thread_local! {
-    static CACHE: std::cell::RefCell<std::collections::HashMap<String, Refutation>> =
-        std::cell::RefCell::new(std::collections::HashMap::new());
+/// Hash-consed i128 constraints plus the refutation memo keyed by their
+/// ids. The two are cleared together (memo entries reference store ids).
+#[derive(Default)]
+struct ConStore {
+    cons: Vec<FastCon>,
+    index: std::collections::HashMap<FastCon, u32>,
+    memo: std::collections::HashMap<(usize, Vec<u32>), Refutation>,
 }
 
-fn refute_inner(cons: Vec<LinCon>, budget: usize) -> Refutation {
-    // Fast path: i128 coefficients (the overwhelmingly common case).
-    if let Some(fast) = cons
-        .iter()
-        .map(|c| {
-            let coeffs = c
-                .coeffs
-                .iter()
-                .map(|(&v, k)| i128::try_from(k).ok().map(|k| (v, k)))
-                .collect::<Option<Vec<(usize, i128)>>>()?;
-            let k = i128::try_from(&c.constant).ok()?;
-            Some(FastCon { coeffs, k })
-        })
-        .collect::<Option<Vec<FastCon>>>()
-    {
-        // On overflow (None) fall through to the BigInt path.
-        if let Some(r) = refute_fast(fast, budget) {
+impl ConStore {
+    fn intern(&mut self, c: &LinCon) -> Option<u32> {
+        let coeffs = c
+            .coeffs
+            .iter()
+            .map(|(&v, k)| i128::try_from(k).ok().map(|k| (v, k)))
+            .collect::<Option<Vec<(usize, i128)>>>()?;
+        let k = i128::try_from(&c.constant).ok()?;
+        let fast = FastCon { coeffs, k };
+        if let Some(&id) = self.index.get(&fast) {
+            return Some(id);
+        }
+        let id = self.cons.len() as u32;
+        self.cons.push(fast.clone());
+        self.index.insert(fast, id);
+        Some(id)
+    }
+}
+
+thread_local! {
+    static STORE: std::cell::RefCell<ConStore> = std::cell::RefCell::new(ConStore::default());
+}
+
+/// Opaque handle to a hash-consed i128 constraint in the thread-local
+/// store. Holders must not outlive a [`gc_checkpoint`] reset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConId(u32);
+
+/// Interns a constraint's i128 form; `None` if a coefficient or the
+/// constant overflows i128 (callers fall back to the `&LinCon` path).
+pub fn intern_con(c: &LinCon) -> Option<ConId> {
+    STORE.with(|s| s.borrow_mut().intern(c)).map(ConId)
+}
+
+/// Refutes a system given by interned constraint ids. Semantically
+/// identical to [`refute_refs`] on the corresponding constraints, but the
+/// per-call cost of a memoised repeat is an id sort — no per-coefficient
+/// conversion or hashing. This is the hot probe path: the kernel interns
+/// each constraint once per proof case and poses thousands of overlapping
+/// prefix systems against the same ids.
+pub fn refute_ids(ids: &[ConId], budget: usize) -> Refutation {
+    let start = std::time::Instant::now();
+    let mut key: Vec<u32> = ids.iter().map(|c| c.0).collect();
+    key.sort_unstable();
+    key.dedup();
+    let r = refute_key(key, budget);
+    REFUTE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    REFUTE_MICROS.fetch_add(
+        start.elapsed().as_micros() as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
+    r
+}
+
+/// Clears the constraint store (and the memo, whose keys reference it)
+/// once oversized. Only call from points where no [`ConId`] is held —
+/// a reset remaps ids.
+pub fn gc_checkpoint() {
+    STORE.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.cons.len() > 400_000 || s.memo.len() > 400_000 {
+            *s = ConStore::default();
+        }
+    });
+}
+
+fn refute_inner(cons: &[&LinCon], budget: usize) -> Refutation {
+    // Fast path: i128 coefficients (the overwhelmingly common case). Each
+    // constraint is hash-consed into the thread-local store, so a system
+    // is identified by a sorted `Vec<u32>` of ids — the memo key for a
+    // repeated probe costs an id sort instead of hashing and cloning every
+    // coefficient of every constraint, and distinct systems share their
+    // constraints' storage.
+    let interned: Option<Vec<u32>> = STORE.with(|s| {
+        let mut s = s.borrow_mut();
+        cons.iter().map(|c| s.intern(c)).collect()
+    });
+    if let Some(mut ids) = interned {
+        // Canonicalise: the sorted, deduped id set is the (exact) memo
+        // key — dedup on ids equals dedup on the constraints themselves.
+        ids.sort_unstable();
+        ids.dedup();
+        return refute_key(ids, budget);
+    }
+    // On i128 overflow fall back to the BigInt path (rare enough that it
+    // pays the clone and goes unmemoised).
+    refute_big(cons.iter().map(|&c| c.clone()).collect(), budget)
+}
+
+/// Solves a canonicalised (sorted, deduped) id system, memoised for
+/// non-trivial sizes. Falls back to BigInt Fourier–Motzkin on i128
+/// overflow during solving.
+fn refute_key(ids: Vec<u32>, budget: usize) -> Refutation {
+    let solve = |ids: &[u32], budget: usize| -> Option<Refutation> {
+        let fast: Vec<FastCon> = STORE.with(|s| {
+            let s = s.borrow();
+            ids.iter().map(|&i| s.cons[i as usize].clone()).collect()
+        });
+        refute_fast(fast, budget)
+    };
+    // Small systems are cheaper to solve than to memoise.
+    if ids.len() < 16 {
+        if let Some(r) = solve(&ids, budget) {
+            return r;
+        }
+    } else {
+        let cached = STORE.with(|s| s.borrow().memo.get(&(budget, ids.clone())).copied());
+        if let Some(r) = cached {
+            return r;
+        }
+        if let Some(r) = solve(&ids, budget) {
+            STORE.with(|s| {
+                let mut s = s.borrow_mut();
+                // Bound memo growth inline (always safe — only caching is
+                // lost); the store itself is only reset at gc checkpoints,
+                // where no ids are held.
+                if s.memo.len() > 400_000 {
+                    s.memo.clear();
+                }
+                s.memo.insert((budget, ids), r);
+            });
             return r;
         }
     }
-    refute_big(cons, budget)
+    // i128 overflow while solving: reconstruct exact BigInt constraints.
+    let big: Vec<LinCon> = STORE.with(|s| {
+        let s = s.borrow();
+        ids.iter()
+            .map(|&i| {
+                let f = &s.cons[i as usize];
+                LinCon {
+                    coeffs: f.coeffs.iter().map(|&(v, k)| (v, BigInt::from(k))).collect(),
+                    constant: BigInt::from(f.k),
+                }
+            })
+            .collect()
+    });
+    refute_big(big, budget)
 }
 
 /// An i128 constraint `Σ coeffs·x + k >= 0` (coeffs sorted by variable).
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct FastCon {
     coeffs: Vec<(usize, i128)>,
     k: i128,
@@ -204,6 +292,58 @@ fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
     a
 }
 
+/// `ca*a + cb*b` over coefficient vectors sorted by variable, dropping
+/// `skip` and zero results; `None` on i128 overflow. This is the inner
+/// loop of both Fourier–Motzkin combination and Gaussian substitution —
+/// a linear merge instead of a per-pair map build.
+fn merge2(
+    a: &[(usize, i128)],
+    ca: i128,
+    b: &[(usize, i128)],
+    cb: i128,
+    skip: usize,
+) -> Option<Vec<(usize, i128)>> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let va = a.get(i).map(|&(v, _)| v);
+        let vb = b.get(j).map(|&(v, _)| v);
+        let (v, c) = match (va, vb) {
+            (Some(x), Some(y)) if x == y => {
+                let c = a[i].1.checked_mul(ca)?.checked_add(b[j].1.checked_mul(cb)?)?;
+                i += 1;
+                j += 1;
+                (x, c)
+            }
+            (Some(x), Some(y)) if x < y => {
+                let c = a[i].1.checked_mul(ca)?;
+                i += 1;
+                (x, c)
+            }
+            (Some(_), Some(y)) => {
+                let c = b[j].1.checked_mul(cb)?;
+                j += 1;
+                (y, c)
+            }
+            (Some(x), None) => {
+                let c = a[i].1.checked_mul(ca)?;
+                i += 1;
+                (x, c)
+            }
+            (None, Some(y)) => {
+                let c = b[j].1.checked_mul(cb)?;
+                j += 1;
+                (y, c)
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        if v != skip && c != 0 {
+            out.push((v, c));
+        }
+    }
+    Some(out)
+}
+
 /// Gaussian substitution of implied equalities: whenever both `p >= 0` and
 /// `-p >= 0` are present and some variable's coefficient in `p` divides all
 /// the others and the constant, that variable is eliminated *exactly* —
@@ -212,23 +352,24 @@ fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
 /// would report a model.
 fn gauss_substitute(cons: &mut Vec<FastCon>) -> Option<()> {
     loop {
-        // Find an equality pair.
+        // Find an equality pair (a constraint whose negation is also
+        // present). Keys borrow from the constraints — no per-row clones.
         let mut eq_idx: Option<usize> = None;
         {
-            let mut seen: BTreeMap<(Vec<(usize, i128)>, i128), usize> = BTreeMap::new();
+            let mut seen: std::collections::HashSet<(&[(usize, i128)], i128)> =
+                std::collections::HashSet::with_capacity(cons.len());
+            let mut neg_buf: Vec<(usize, i128)> = Vec::new();
             for (i, c) in cons.iter().enumerate() {
                 if c.coeffs.is_empty() {
                     continue;
                 }
-                let neg_key = (
-                    c.coeffs.iter().map(|&(v, k)| (v, -k)).collect::<Vec<_>>(),
-                    -c.k,
-                );
-                if seen.contains_key(&neg_key) {
+                neg_buf.clear();
+                neg_buf.extend(c.coeffs.iter().map(|&(v, k)| (v, -k)));
+                if seen.contains(&(&neg_buf[..], -c.k)) {
                     eq_idx = Some(i);
                     break;
                 }
-                seen.insert((c.coeffs.clone(), c.k), i);
+                seen.insert((&c.coeffs[..], c.k));
             }
         }
         let Some(i) = eq_idx else { return Some(()) };
@@ -259,23 +400,11 @@ fn gauss_substitute(cons: &mut Vec<FastCon>) -> Option<()> {
                 out.push(c);
                 continue;
             };
-            // Replace d*var by d*(subst + subst_k).
-            let mut acc: BTreeMap<usize, i128> = c
-                .coeffs
-                .iter()
-                .filter(|&&(v, _)| v != var)
-                .map(|&(v, k)| (v, k))
-                .collect();
-            for &(v, sc) in &subst {
-                let add = sc.checked_mul(d)?;
-                let e = acc.entry(v).or_insert(0);
-                *e = e.checked_add(add)?;
-            }
+            // Replace d*var by d*(subst + subst_k): a sorted two-way merge
+            // of `c.coeffs` (minus `var`) with `d * subst`.
+            let coeffs = merge2(&c.coeffs, 1, &subst, d, var)?;
             let k = c.k.checked_add(subst_k.checked_mul(d)?)?;
-            let mut nc = FastCon {
-                coeffs: acc.into_iter().filter(|&(_, c)| c != 0).collect(),
-                k,
-            };
+            let mut nc = FastCon { coeffs, k };
             nc.tighten()?;
             if !(nc.coeffs.is_empty() && nc.k >= 0) {
                 out.push(nc);
@@ -331,29 +460,13 @@ fn refute_fast(mut cons: Vec<FastCon>, budget: usize) -> Option<Refutation> {
             return Some(Refutation::Overflow);
         }
         for p in &pos {
+            let a = p.coeffs.iter().find(|(v, _)| *v == var).expect("pos").1;
             for n in &neg {
-                let a = p.coeffs.iter().find(|(v, _)| *v == var).expect("pos").1;
                 let b = -n.coeffs.iter().find(|(v, _)| *v == var).expect("neg").1;
-                let mut acc: BTreeMap<usize, i128> = BTreeMap::new();
-                for &(v, c) in &p.coeffs {
-                    if v != var {
-                        let add = c.checked_mul(b)?;
-                        let e = acc.entry(v).or_insert(0);
-                        *e = e.checked_add(add)?;
-                    }
-                }
-                for &(v, c) in &n.coeffs {
-                    if v != var {
-                        let add = c.checked_mul(a)?;
-                        let e = acc.entry(v).or_insert(0);
-                        *e = e.checked_add(add)?;
-                    }
-                }
+                // b*p + a*n eliminates var: sorted two-way merge, no maps.
+                let coeffs = merge2(&p.coeffs, b, &n.coeffs, a, var)?;
                 let k = p.k.checked_mul(b)?.checked_add(n.k.checked_mul(a)?)?;
-                let mut combined = FastCon {
-                    coeffs: acc.into_iter().filter(|(_, c)| *c != 0).collect(),
-                    k,
-                };
+                let mut combined = FastCon { coeffs, k };
                 combined.tighten()?;
                 if !(combined.coeffs.is_empty() && combined.k >= 0) {
                     rest.push(combined);

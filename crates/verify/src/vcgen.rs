@@ -773,8 +773,10 @@ pub fn generate_vcs(
     telemetry::counter("vcgen.vcs_generated", ctx.vcs.len() as u64);
     if telemetry::enabled() {
         for vc in &ctx.vcs {
-            let size = vc.goal.node_count()
-                + vc.hyps.iter().map(Formula::node_count).sum::<usize>();
+            // Through the interned store: O(1) per already-seen formula,
+            // and interning here pre-warms the arena for discharge.
+            let size = crate::store::formula_node_count(&vc.goal)
+                + vc.hyps.iter().map(crate::store::formula_node_count).sum::<usize>();
             telemetry::record("vcgen.formula_nodes", size as u64);
         }
     }

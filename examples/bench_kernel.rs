@@ -1,0 +1,349 @@
+//! Kernel discharge benchmark: times VC discharge for every design with a
+//! spec, both sequentially and through the parallel scheduler, and writes
+//! the results to `BENCH_kernel.json`.
+//!
+//! ```text
+//! cargo run --release --example bench_kernel            # full run
+//! cargo run --release --example bench_kernel -- --smoke # CI smoke mode
+//! ```
+//!
+//! Every VC is discharged under a per-VC wall-clock deadline (the kernel's
+//! `Limits::deadline`), so VCs the proof search cannot finish contribute a
+//! bounded cost instead of aborting the bench — the workload is "discharge
+//! all VCs with a D-millisecond cap each", which is well-defined before
+//! and after any kernel change. Per-VC outcomes and times are recorded.
+//!
+//! Two totals are reported:
+//!
+//! - `total_sequential_ns` — the whole workload, including deadline-capped
+//!   VCs. Dominated by VCs the automatic core cannot discharge at any
+//!   speed (they always cost ~D ms), so it *understates* kernel speedups.
+//! - `speedup_vs_baseline` — when `CHICALA_BENCH_BASELINE` points at a
+//!   previous run's JSON, the ratio of summed times over the VCs that ran
+//!   to completion (proved or definitively failed) in BOTH runs. This is
+//!   the honest kernel-throughput number: identical work, measured twice.
+//!
+//! Outcomes of VCs near the deadline are inherently wall-clock dependent
+//! (a warmer memo cache can flip a Timeout to a Proved), so outcome counts
+//! are reported per pass rather than asserted equal — byte-level
+//! determinism is asserted where it holds, in the conformance engine's
+//! fixed-seed runs (see `tests/parallel_determinism.rs`).
+//!
+//! Knobs (environment):
+//! - `CHICALA_BENCH_OUT`: output path (default `BENCH_kernel.json`).
+//! - `CHICALA_BENCH_DEADLINE_MS`: per-VC deadline (default 10000; 100 in
+//!   smoke mode).
+//! - `CHICALA_BENCH_BASELINE`: path to a previous run's JSON; embedded
+//!   verbatim under `"baseline"` with the computed speedups.
+
+use chicala::core::transform;
+use chicala::designs::verified_designs;
+use chicala::par::ThreadPool;
+use chicala::verify::{
+    discharge_vc, generate_vcs, prepare_env, refute_calls, refute_micros, Env, Proof, Vc,
+};
+use std::time::{Duration, Instant};
+
+struct DesignRun {
+    name: &'static str,
+    env: Env,
+    vcs: Vec<Vc>,
+    proofs: Vec<Proof>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Outcome {
+    Proved,
+    Failed,
+    Timeout,
+}
+
+impl Outcome {
+    fn label(self) -> &'static str {
+        match self {
+            Outcome::Proved => "proved",
+            Outcome::Failed => "failed",
+            Outcome::Timeout => "timeout",
+        }
+    }
+}
+
+/// One VC's result: `design/vc_name` plus outcome and elapsed time.
+struct VcResult {
+    key: String,
+    outcome: Outcome,
+    ns: u64,
+}
+
+/// Builds every speccy design's environment and VC list once (untimed
+/// setup), so the timed section is discharge only.
+fn prepare() -> Result<Vec<DesignRun>, String> {
+    let mut runs = Vec::new();
+    for d in verified_designs() {
+        let Some(spec) = d.spec else { continue };
+        let spec = spec();
+        let module = (d.module)();
+        let out = transform(&module).map_err(|e| e.to_string())?;
+        let mut env = Env::new();
+        chicala::bvlib::install_bitvec(&mut env)
+            .map_err(|(n, e)| format!("lemma {n}: {e}"))?;
+        prepare_env(&mut env, &spec).map_err(|e| e.to_string())?;
+        let vcs = generate_vcs(&out.program, &spec, &out.obligations)
+            .map_err(|e| e.to_string())?;
+        let proofs: Vec<Proof> = vcs
+            .iter()
+            .map(|vc| spec.proofs.get(&vc.name).cloned().unwrap_or(Proof::Auto))
+            .collect();
+        runs.push(DesignRun { name: d.name, env, vcs, proofs });
+    }
+    Ok(runs)
+}
+
+/// Discharges one VC under a fresh deadline; returns outcome and elapsed.
+fn discharge_one(run: &DesignRun, i: usize, deadline: Duration) -> (Outcome, u64) {
+    let mut env = run.env.clone();
+    let t = Instant::now();
+    env.limits.deadline = Some(t + deadline);
+    let out = discharge_vc(&env, &run.vcs[i], &run.proofs[i]);
+    let ns = t.elapsed().as_nanos() as u64;
+    let outcome = match out {
+        Ok(_) => Outcome::Proved,
+        Err(e) if e.to_string().contains("deadline") => Outcome::Timeout,
+        Err(_) => Outcome::Failed,
+    };
+    (outcome, ns)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Extracts per-VC records from a previous run's JSON: lines of the form
+/// `{ "vc": "...", "outcome": "...", "ns": N }` (dependency-free parse).
+fn parse_baseline_vcs(json: &str) -> Vec<VcResult> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rest) = line.trim().strip_prefix("{ \"vc\": \"") else { continue };
+        let Some((key, rest)) = rest.split_once('"') else { continue };
+        let Some(rest) = rest.strip_prefix(", \"outcome\": \"") else { continue };
+        let Some((outcome, rest)) = rest.split_once('"') else { continue };
+        let Some(rest) = rest.strip_prefix(", \"ns\": ") else { continue };
+        let Some(ns) = rest
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let outcome = match outcome {
+            "proved" => Outcome::Proved,
+            "failed" => Outcome::Failed,
+            _ => Outcome::Timeout,
+        };
+        out.push(VcResult { key: key.to_string(), outcome, ns });
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let env_num = |k: &str, dflt: u64| {
+        std::env::var(k).ok().and_then(|s| s.parse::<u64>().ok()).unwrap_or(dflt)
+    };
+    let deadline = Duration::from_millis(env_num(
+        "CHICALA_BENCH_DEADLINE_MS",
+        if smoke { 100 } else { 10_000 },
+    ));
+    let started = Instant::now();
+
+    println!("preparing environments and VCs...");
+    let runs = prepare()?;
+    let total_vcs: usize = runs.iter().map(|r| r.vcs.len()).sum();
+    println!(
+        "  {} designs, {total_vcs} VCs, {}ms/VC deadline\n",
+        runs.len(),
+        deadline.as_millis()
+    );
+
+    // Sequential discharge with per-VC records.
+    let refute_calls0 = refute_calls();
+    let refute_micros0 = refute_micros();
+    let mut results: Vec<VcResult> = Vec::new();
+    let t0 = Instant::now();
+    for run in &runs {
+        let t = Instant::now();
+        for i in 0..run.vcs.len() {
+            let (outcome, ns) = discharge_one(run, i, deadline);
+            results.push(VcResult {
+                key: format!("{}/{}", run.name, run.vcs[i].name),
+                outcome,
+                ns,
+            });
+        }
+        let (p, f, to) = results
+            .iter()
+            .filter(|r| r.key.starts_with(&format!("{}/", run.name)))
+            .fold((0, 0, 0), |(p, f, t), r| match r.outcome {
+                Outcome::Proved => (p + 1, f, t),
+                Outcome::Failed => (p, f + 1, t),
+                Outcome::Timeout => (p, f, t + 1),
+            });
+        println!(
+            "  seq {:<10} {:>10.2}ms  ({p} proved, {f} failed, {to} timeout)",
+            run.name,
+            t.elapsed().as_nanos() as f64 / 1e6,
+        );
+    }
+    let total_seq = t0.elapsed().as_nanos() as u64;
+    let seq_refute_calls = refute_calls() - refute_calls0;
+    let seq_refute_micros = refute_micros() - refute_micros0;
+    let completed_ns: u64 =
+        results.iter().filter(|r| r.outcome != Outcome::Timeout).map(|r| r.ns).sum();
+    println!(
+        "  seq total      {:>10.2}ms  (completed VCs: {:.2}ms)\n",
+        total_seq as f64 / 1e6,
+        completed_ns as f64 / 1e6
+    );
+
+    // Parallel discharge of the same flattened VC list. Skipped in smoke
+    // mode (smoke asserts completion, not scaling) and when
+    // CHICALA_BENCH_PAR=0 (e.g. baseline-capture runs that only need the
+    // sequential numbers).
+    let workers = ThreadPool::default_workers();
+    let run_par = std::env::var("CHICALA_BENCH_PAR").map_or(true, |v| v != "0");
+    let mut total_par = total_seq;
+    if !smoke && run_par {
+        let pool = ThreadPool::new(workers);
+        let flat: Vec<(usize, usize)> = runs
+            .iter()
+            .enumerate()
+            .flat_map(|(d, run)| (0..run.vcs.len()).map(move |i| (d, i)))
+            .collect();
+        let t0 = Instant::now();
+        let outcomes = pool.map_slice(&flat, |&(d, i)| discharge_one(&runs[d], i, deadline).0);
+        total_par = t0.elapsed().as_nanos() as u64;
+        let par_proved = outcomes.iter().filter(|o| **o == Outcome::Proved).count();
+        println!(
+            "  par total ({workers} workers) {:>10.2}ms  ({:.2}x vs seq, {par_proved} proved)\n",
+            total_par as f64 / 1e6,
+            total_seq as f64 / total_par as f64
+        );
+    }
+
+    let baseline: Option<String> = std::env::var("CHICALA_BENCH_BASELINE")
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok());
+
+    let out_path = std::env::var("CHICALA_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_kernel.json".to_string());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!("  \"deadline_ms\": {},\n", deadline.as_millis()));
+    json.push_str(&format!("  \"total_vcs\": {total_vcs},\n"));
+    json.push_str("  \"designs\": {\n");
+    for (di, run) in runs.iter().enumerate() {
+        let prefix = format!("{}/", run.name);
+        let mine: Vec<&VcResult> =
+            results.iter().filter(|r| r.key.starts_with(&prefix)).collect();
+        let (p, f, to) = mine.iter().fold((0, 0, 0), |(p, f, t), r| match r.outcome {
+            Outcome::Proved => (p + 1, f, t),
+            Outcome::Failed => (p, f + 1, t),
+            Outcome::Timeout => (p, f, t + 1),
+        });
+        let ns: u64 = mine.iter().map(|r| r.ns).sum();
+        json.push_str(&format!(
+            "    \"{}\": {{ \"vcs\": {}, \"proved\": {p}, \"failed\": {f}, \"timeout\": {to}, \"discharge_ns\": {ns} }}{}\n",
+            json_escape(run.name),
+            mine.len(),
+            if di + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"vc_results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"vc\": \"{}\", \"outcome\": \"{}\", \"ns\": {} }}{}\n",
+            json_escape(&r.key),
+            r.outcome.label(),
+            r.ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"proved\": {},\n  \"failed\": {},\n  \"timeout\": {},\n",
+        results.iter().filter(|r| r.outcome == Outcome::Proved).count(),
+        results.iter().filter(|r| r.outcome == Outcome::Failed).count(),
+        results.iter().filter(|r| r.outcome == Outcome::Timeout).count()
+    ));
+    json.push_str(&format!("  \"refute_calls\": {seq_refute_calls},\n"));
+    json.push_str(&format!("  \"refute_micros\": {seq_refute_micros},\n"));
+    json.push_str(&format!("  \"completed_ns\": {completed_ns},\n"));
+    json.push_str(&format!("  \"total_sequential_ns\": {total_seq},\n"));
+    json.push_str(&format!("  \"total_parallel_ns\": {total_par}"));
+    if let Some(base) = &baseline {
+        // Speedup over the VCs completed (proved or failed — not
+        // deadline-capped) in BOTH runs: identical work measured twice.
+        let base_vcs = parse_baseline_vcs(base);
+        let mut before_ns = 0u64;
+        let mut after_ns = 0u64;
+        let mut common = 0usize;
+        for r in &results {
+            if r.outcome == Outcome::Timeout {
+                continue;
+            }
+            let Some(b) = base_vcs
+                .iter()
+                .find(|b| b.key == r.key && b.outcome != Outcome::Timeout)
+            else {
+                continue;
+            };
+            common += 1;
+            before_ns += b.ns;
+            after_ns += r.ns;
+        }
+        json.push_str(",\n");
+        json.push_str(&format!("  \"common_completed_vcs\": {common},\n"));
+        json.push_str(&format!("  \"common_completed_baseline_ns\": {before_ns},\n"));
+        json.push_str(&format!("  \"common_completed_ns\": {after_ns},\n"));
+        json.push_str(&format!(
+            "  \"speedup_vs_baseline\": {:.3},\n",
+            before_ns as f64 / after_ns.max(1) as f64
+        ));
+        let base_total = base
+            .lines()
+            .find_map(|l| {
+                l.trim()
+                    .strip_prefix("\"total_sequential_ns\": ")?
+                    .trim_end_matches(',')
+                    .parse::<u64>()
+                    .ok()
+            })
+            .unwrap_or(0);
+        json.push_str(&format!(
+            "  \"total_speedup_vs_baseline\": {:.3},\n",
+            base_total as f64 / total_seq.max(1) as f64
+        ));
+        println!(
+            "  speedup vs baseline on {common} common completed VCs: {:.2}x",
+            before_ns as f64 / after_ns.max(1) as f64
+        );
+        // Indent the embedded baseline object two spaces for readability.
+        let indented: String = base
+            .trim_end()
+            .lines()
+            .enumerate()
+            .map(|(i, l)| if i == 0 { l.to_string() } else { format!("  {l}") })
+            .collect::<Vec<_>>()
+            .join("\n");
+        json.push_str(&format!("  \"baseline\": {indented}\n"));
+    } else {
+        json.push('\n');
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, json)?;
+    println!("wrote {out_path} (wall time {:.1?})", started.elapsed());
+    Ok(())
+}

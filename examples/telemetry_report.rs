@@ -20,6 +20,7 @@ use chicala::conformance;
 use chicala::core::transform;
 use chicala::designs::verified_designs;
 use chicala::lowlevel;
+use chicala::par::ThreadPool;
 use chicala::telemetry;
 use chicala::verify::{discharge_vc, generate_vcs, Env, Proof};
 use std::collections::BTreeMap;
@@ -37,7 +38,12 @@ struct VcTally {
 /// wall-clock budget: the kernel's `Limits::deadline` makes every single
 /// proof attempt fail fast once the budget is spent, so one hard linarith
 /// goal cannot stall the whole report.
+///
+/// Lemma proving is sequential (later lemmas may use earlier ones), but
+/// the VCs are independent and fan out across the scheduler's workers;
+/// the tally is folded in VC order, so counts don't depend on scheduling.
 fn budgeted_verify(
+    name: &str,
     spec: &chicala::verify::DesignSpec,
     prog: &chicala::seq::SeqProgram,
     obligations: &[chicala::seq::SExpr],
@@ -45,45 +51,63 @@ fn budgeted_verify(
 ) -> Result<VcTally, String> {
     let started = Instant::now();
     let mut env = Env::new();
-    chicala::bvlib::install_bitvec(&mut env).map_err(|(n, e)| format!("lemma {n}: {e}"))?;
-    env.limits.deadline = Some(started + budget);
+    // Sequential setup (lemmas, vcgen) under one design-attributed span on
+    // this thread; the span is closed before the fan-out so worker-side
+    // spans don't nest inside it (span paths are per-thread, and a nested
+    // duplicate would break the cost table's `verify:{design}/...` match).
+    let (lemmas_done, vcs) = {
+        let _setup_span = telemetry::span!("verify:{}", name);
+        chicala::bvlib::install_bitvec(&mut env)
+            .map_err(|(n, e)| format!("lemma {n}: {e}"))?;
+        env.limits.deadline = Some(started + budget);
 
-    // Environment setup (prepare_env, inlined so lemmas respect the budget).
-    for d in &spec.defs {
-        env.define(d.clone());
-    }
-    let mut lemmas_done = true;
-    for (lemma, proof) in &spec.lemmas {
-        if started.elapsed() > budget {
-            lemmas_done = false;
-            break;
+        // Environment setup (prepare_env, inlined so lemmas respect the
+        // budget).
+        for d in &spec.defs {
+            env.define(d.clone());
         }
-        if let Err(e) = env.prove_lemma(lemma.clone(), proof) {
-            if e.message.contains("deadline") {
+        let mut lemmas_done = true;
+        for (lemma, proof) in &spec.lemmas {
+            if started.elapsed() > budget {
                 lemmas_done = false;
                 break;
             }
-            return Err(format!("lemma {}: {}", lemma.name, e.message));
+            if let Err(e) = env.prove_lemma(lemma.clone(), proof) {
+                if e.message.contains("deadline") {
+                    lemmas_done = false;
+                    break;
+                }
+                return Err(format!("lemma {}: {}", lemma.name, e.message));
+            }
         }
-    }
-    for lemma in &spec.trusted {
-        env.assume_axiom(lemma.clone());
-    }
+        for lemma in &spec.trusted {
+            env.assume_axiom(lemma.clone());
+        }
 
-    let vcs = generate_vcs(prog, spec, obligations).map_err(|e| e.to_string())?;
-    let mut tally = VcTally::default();
-    for vc in &vcs {
+        let vcs = generate_vcs(prog, spec, obligations).map_err(|e| e.to_string())?;
+        (lemmas_done, vcs)
+    };
+    let pool = ThreadPool::default();
+    let outcomes = pool.scoped_map(vcs.len(), |i| {
         // Without the design's lemmas the remaining VCs would fail for the
         // wrong reason; count them against the budget instead.
         if !lemmas_done || started.elapsed() > budget {
-            tally.skipped += 1;
-            continue;
+            return None;
         }
-        let proof = spec.proofs.get(&vc.name).cloned().unwrap_or(Proof::Auto);
-        match discharge_vc(&env, vc, &proof) {
-            Ok(()) => tally.proved += 1,
-            Err(e) if e.to_string().contains("deadline") => tally.skipped += 1,
-            Err(_) => tally.failed += 1,
+        // Establish the design-attributed span prefix on whichever thread
+        // runs this VC, so the cost table's `verify:{design}/vc:*`
+        // aggregation keeps working.
+        let _span = telemetry::span!("verify:{}", name);
+        let proof = spec.proofs.get(&vcs[i].name).cloned().unwrap_or(Proof::Auto);
+        Some(discharge_vc(&env, &vcs[i], &proof).map_err(|e| e.to_string()))
+    });
+    let mut tally = VcTally::default();
+    for out in outcomes {
+        match out {
+            None => tally.skipped += 1,
+            Some(Ok(())) => tally.proved += 1,
+            Some(Err(e)) if e.contains("deadline") => tally.skipped += 1,
+            Some(Err(_)) => tally.failed += 1,
         }
     }
     Ok(tally)
@@ -162,9 +186,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match &d.spec {
             Some(spec) => {
                 let spec = spec();
-                let verify_span = telemetry::span!("verify:{}", d.name);
-                let tally = budgeted_verify(&spec, &out.program, &out.obligations, budget);
-                verify_span.finish();
+                // Span management lives inside budgeted_verify: one span
+                // for the sequential setup, one per worker-side VC.
+                let tally = budgeted_verify(d.name, &spec, &out.program, &out.obligations, budget);
                 match tally {
                     Ok(t) => {
                         println!(

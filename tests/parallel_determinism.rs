@@ -1,0 +1,61 @@
+//! Worker-count independence of the conformance engine: the same
+//! `CHICALA_SEED` run must produce a byte-identical report at 1, 2, and 8
+//! workers. Case generation and result folding are sequential in the
+//! engine; only checking fans out — so everything observable (coverage
+//! counts, width ranges, cycle totals, failures, replay seeds) is a pure
+//! function of the seed. Wall-clock fields (`elapsed_ns`) are excluded
+//! from the digest: they are the one thing scheduling is allowed to
+//! change.
+
+use chicala::conformance::{self, Config, Layer};
+use std::fmt::Write as _;
+
+/// Canonical, timing-free rendering of a report.
+fn digest(report: &conformance::Report) -> String {
+    let mut out = String::new();
+    for ((design, layer), st) in &report.stats {
+        writeln!(
+            out,
+            "{design} {layer} cases={} skipped={} widths={}..{} cycles={}",
+            st.cases, st.skipped, st.min_width, st.max_width, st.cycles
+        )
+        .expect("write to string");
+    }
+    for f in &report.failures {
+        writeln!(
+            out,
+            "FAIL {} {} seed=0x{:016X} cap={} case=({}) shrunk=({}) msg={}",
+            f.design, f.layer, f.case_seed, f.max_width, f.case, f.shrunk, f.message
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+/// One test (not three) so the `CHICALA_WORKERS` mutations can't race
+/// against other tests in this binary.
+#[test]
+fn report_is_identical_at_1_2_and_8_workers() {
+    let cfg = Config {
+        seed: 0xD15C_0C0D_CA5E_5EED,
+        cases: 6,
+        max_width: 12,
+        layers: Layer::ALL.to_vec(),
+        stop_at_first: true,
+    };
+    let mut digests = Vec::new();
+    for workers in ["1", "2", "8"] {
+        std::env::set_var("CHICALA_WORKERS", workers);
+        let report = conformance::run_all(&cfg);
+        digests.push((workers, digest(&report)));
+    }
+    std::env::remove_var("CHICALA_WORKERS");
+    let (_, baseline) = &digests[0];
+    assert!(!baseline.is_empty(), "digest covers every design/layer cell");
+    for (workers, d) in &digests[1..] {
+        assert_eq!(
+            d, baseline,
+            "conformance report diverged between 1 and {workers} workers"
+        );
+    }
+}
