@@ -8,25 +8,32 @@
 //!   ([`chicala_chisel::Simulator`]) against the generated sequential
 //!   program ([`chicala_seq::SeqRunner`]), cycle by cycle over every
 //!   output and register (experiment E3).
-//! * [`Layer::Gates`] — concrete evaluation of the bit-blasted netlist
-//!   ([`chicala_lowlevel::unroll`]) against the interpreter at small
-//!   widths (validates the per-width baseline the paper compares against).
+//! * [`Layer::Gates`] — the bit-blasted netlist ([`chicala_lowlevel::unroll`])
+//!   against the interpreter, two ways: concrete evaluation per sampled
+//!   case, plus one *formal* design-vs-golden-model equivalence proof per
+//!   width ([`formal_gate_obligation`], discharged by
+//!   [`chicala_lowlevel::Backend::Auto`]: BDDs at small widths, AIG + CDCL
+//!   SAT above the crossover).
 //! * [`Layer::Spec`] — the final state after the design's full latency
 //!   against a pure mathematical specification (`a*b`, `n/d`, rotation,
 //!   popcount) from the registry.
 
-use crate::registry::{all_designs, Design, FinalState};
+use crate::registry::{all_designs, Design, FinalState, GateEnv};
 use crate::rng::SplitMix64;
 use crate::shrink::shrink;
 use chicala_bigint::BigInt;
 use chicala_chisel::{elaborate, Bindings, ElabKind, ElabModule, Simulator};
 use chicala_core::transform;
-use chicala_lowlevel::{constant_word, unroll, Netlist, Word};
+use chicala_lowlevel::{
+    constant_word, fresh_inputs, prove_net, unroll, Backend, Net, Netlist, ProveResult,
+    UnrolledState, Word,
+};
 use chicala_par::ThreadPool;
 use chicala_seq::{SValue, SeqRunner};
 use chicala_telemetry as telemetry;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// A comparable semantic layer.
@@ -210,6 +217,10 @@ pub struct LayerStats {
     pub cycles: u64,
     /// Wall-clock nanoseconds spent checking the counted cases.
     pub elapsed_ns: u64,
+    /// Width cap the layer's case stream was generated under (for the
+    /// gates layer: `min(cfg.max_width, design.gate_max_width)` — the
+    /// ceiling the layer actually exercised).
+    pub width_cap: u64,
 }
 
 impl LayerStats {
@@ -387,9 +398,151 @@ fn check_cosim(d: &Design, case: &Case) -> Result<u64, String> {
     Ok(case.cycles)
 }
 
+/// The formal gate-level obligation for one design at one width, ready to
+/// hand to any [`prove_net`] backend (the conformance gates layer, the
+/// backend-agreement tests, and `bench_lowlevel` all start from here).
+pub struct FormalObligation {
+    /// The netlist holding the unrolled design, the golden model, and the
+    /// property cone.
+    pub netlist: Netlist,
+    /// Single-bit property net; constant-true ⇔ design matches golden for
+    /// every input assignment at this width.
+    pub property: Net,
+    /// Interleaved input bits (operand bit 0 of each port, then bit 1, …)
+    /// — the BDD variable order that keeps arithmetic miters polynomial
+    /// where a concatenated order explodes.
+    pub var_order: Vec<Net>,
+    /// Fresh symbolic input words by port name (for model decoding).
+    pub inputs: BTreeMap<String, Word<Net>>,
+    /// The design's symbolic state after its full latency.
+    pub state: UnrolledState<Net>,
+}
+
+/// Builds the formal obligation for `d` at `width`: symbolically unrolls
+/// the design over fresh inputs for its full latency and instantiates the
+/// registry's golden model. `Ok(None)` when the design has no golden model.
+pub fn formal_gate_obligation(d: &Design, width: u64) -> Result<Option<FormalObligation>, String> {
+    let Some(gate_spec) = d.gate_spec else { return Ok(None) };
+    let em = elab(d, width)?;
+    let mut nl = Netlist::new();
+    let inputs = fresh_inputs(&em, |_, _, kit: &mut Netlist| kit.input(), &mut nl);
+    let latency = (d.latency)(width);
+    let state = unroll(&em, &mut nl, &inputs, &BTreeMap::new(), latency as usize)
+        .map_err(|e| format!("{}: formal unroll at width {width}: {e}", d.name))?;
+    let property = gate_spec(&mut nl, &GateEnv { width, inputs: &inputs, state: &state });
+    let max_w = inputs.values().map(|w| w.width()).max().unwrap_or(0);
+    let mut var_order = Vec::new();
+    for i in 0..max_w {
+        for w in inputs.values() {
+            if i < w.width() {
+                var_order.push(w.bits[i]);
+            }
+        }
+    }
+    Ok(Some(FormalObligation { netlist: nl, property, var_order, inputs, state }))
+}
+
+/// The value of a netlist word under an evaluation of the whole netlist.
+fn word_value(word: &Word<Net>, vals: &[bool]) -> BigInt {
+    let mut v = BigInt::zero();
+    for (i, bit) in word.bits.iter().enumerate() {
+        if vals[bit.0 as usize] {
+            v = v + BigInt::pow2(i as u64);
+        }
+    }
+    v
+}
+
+/// One formal design-vs-golden equivalence proof per (design, width),
+/// memoised process-wide: the obligation is input-independent, so every
+/// concrete gates case at the same width shares one proof. The result is a
+/// pure function of (design, width), which keeps reports deterministic
+/// regardless of which worker primes the cache.
+fn check_gates_formal(d: &Design, width: u64) -> Result<(), String> {
+    if d.gate_spec.is_none() {
+        return Ok(());
+    }
+    type ProofMemo = Mutex<HashMap<(String, u64), Result<(), String>>>;
+    static MEMO: OnceLock<ProofMemo> = OnceLock::new();
+    let memo = MEMO.get_or_init(Default::default);
+    let key = (d.name.to_string(), width);
+    if let Some(r) = memo.lock().expect("memo lock").get(&key) {
+        return r.clone();
+    }
+    let r = check_gates_formal_uncached(d, width);
+    memo.lock().expect("memo lock").insert(key, r.clone());
+    r
+}
+
+fn check_gates_formal_uncached(d: &Design, width: u64) -> Result<(), String> {
+    let _span = telemetry::span!("gates_formal:{}x{}", d.name, width);
+    let Some(ob) = formal_gate_obligation(d, width)? else { return Ok(()) };
+    let backend = Backend::from_env().unwrap_or(Backend::Auto);
+    match prove_net(&ob.netlist, ob.property, backend, width as usize, &ob.var_order) {
+        ProveResult::Proved { .. } => Ok(()),
+        ProveResult::Counterexample { backend, inputs: cex } => {
+            let vals = ob.netlist.eval(&|net| cex.get(&net).copied().unwrap_or(false));
+            let decoded: BTreeMap<String, BigInt> = ob
+                .inputs
+                .iter()
+                .map(|(name, word)| (name.clone(), word_value(word, &vals)))
+                .collect();
+            // Self-check 1: the model must actually falsify the miter
+            // under concrete netlist evaluation — anything else is a bug
+            // in the proof pipeline, not in the design.
+            assert!(
+                !vals[ob.property.0 as usize],
+                "{}: {backend:?} backend returned a counterexample that does not falsify \
+                 the miter at width {width}: inputs {decoded:?}",
+                d.name,
+            );
+            // Self-check 2: replay the decoded inputs through the cosim
+            // layer (the interpreter). The design-side registers of the
+            // unrolled netlist must agree with the interpreter before we
+            // report a golden-model mismatch; a disagreement here means
+            // the unroll pipeline itself is broken and must not be
+            // reported as a mere divergence.
+            let em = elab(d, width)?;
+            let mut sim = Simulator::new(&em, &BTreeMap::new()).map_err(|e| e.to_string())?;
+            for _ in 0..(d.latency)(width) {
+                sim.step(&decoded).map_err(|e| e.to_string())?;
+            }
+            let net_regs: BTreeMap<String, BigInt> = ob
+                .state
+                .regs
+                .iter()
+                .map(|(name, word)| (name.clone(), word_value(word, &vals)))
+                .collect();
+            for (name, nv) in &net_regs {
+                let sv = sim
+                    .reg(name)
+                    .map(|v| v.to_unsigned(ob.state.regs[name].bits.len() as u64));
+                if sv.as_ref() != Some(nv) {
+                    panic!(
+                        "{}: gates formal counterexample failed cosim replay at width \
+                         {width}: register `{name}`: netlist={nv} interpreter={sv:?}; \
+                         inputs {decoded:?}; netlist trace {net_regs:?}; interpreter \
+                         trace {:?}",
+                        d.name,
+                        sim.regs(),
+                    );
+                }
+            }
+            Err(format!(
+                "gates: formal ({backend:?}): golden model diverges from the design at \
+                 width {width}: inputs {decoded:?}; design registers {net_regs:?} \
+                 (cosim replay agrees)"
+            ))
+        }
+    }
+}
+
 /// Layer B: interpreter vs concrete evaluation of the bit-blasted netlist
 /// (inputs baked in as constants), comparing every register after the run.
 fn check_gates(d: &Design, case: &Case) -> Result<u64, String> {
+    // Formal first: one design-vs-golden proof per width (memoised), via
+    // the Auto backend — BDD below the crossover, AIG + SAT above it.
+    check_gates_formal(d, case.width)?;
     let em = elab(d, case.width)?;
     let hw_inputs = case.input_map(d);
     let mut sim = Simulator::new(&em, &BTreeMap::new()).map_err(|e| e.to_string())?;
@@ -510,20 +663,22 @@ pub fn run_design(d: &Design, cfg: &Config) -> Report {
     let mut rng = SplitMix64::new(cfg.seed ^ fnv1a(d.name));
     for &layer in &cfg.layers {
         let _layer_span = telemetry::span!("{}", layer.name());
+        let layer_cap = match layer {
+            Layer::Gates => cfg.max_width.min(d.gate_max_width),
+            _ => cfg.max_width,
+        };
         let stats = report
             .stats
             .entry((d.name.to_string(), layer))
             .or_default();
+        stats.width_cap = layer_cap;
         // Generate the whole layer's case stream up front: the rng
         // consumption order is part of the replay contract and must not
         // depend on scheduling.
         let slots: Vec<Slot> = (0..cfg.cases)
             .map(|_| {
                 let case_seed = rng.next_u64();
-                let width_cap = match layer {
-                    Layer::Gates => cfg.max_width.min(d.gate_max_width),
-                    _ => cfg.max_width,
-                };
+                let width_cap = layer_cap;
                 let case = gen_case_for(d, layer, case_seed, width_cap);
                 if layer == Layer::Gates && case.width > d.gate_max_width {
                     Slot::Skipped

@@ -30,9 +30,9 @@ pub mod rng;
 pub mod shrink;
 
 pub use engine::{
-    check_case, final_state, gen_case, gen_case_for, replay_case, run_all, run_design, Case,
-    Config, Failure, Layer, LayerStats, Report,
+    check_case, final_state, formal_gate_obligation, gen_case, gen_case_for, replay_case, run_all,
+    run_design, Case, Config, Failure, FormalObligation, Layer, LayerStats, Report,
 };
-pub use registry::{all_designs, Design, FinalState, InputSpec};
+pub use registry::{all_designs, Design, FinalState, GateEnv, GateSpecFn, InputSpec};
 pub use rng::{seed_from_env, SplitMix64};
 pub use shrink::shrink;

@@ -5,6 +5,10 @@
 
 use chicala_bigint::BigInt;
 use chicala_chisel::Module;
+use chicala_lowlevel::{
+    add_words, constant_word, extend, ge_words, mux_word, nets_equal, sub_words, BitKit, Net,
+    Netlist, UnrolledState, Word,
+};
 use std::collections::BTreeMap;
 
 /// One input port of a design, with generation constraints.
@@ -30,6 +34,28 @@ pub struct FinalState {
 /// answer. Returns a divergence description on failure.
 pub type SpecFn = fn(u64, &BTreeMap<String, BigInt>, &FinalState) -> Result<(), String>;
 
+/// Everything a gate-level golden model sees: the elaboration width, the
+/// fresh symbolic input words, and the design's symbolic state after its
+/// full latency.
+pub struct GateEnv<'a> {
+    /// Elaboration width (`len`).
+    pub width: u64,
+    /// Fresh symbolic input words, keyed by port name.
+    pub inputs: &'a BTreeMap<String, Word<Net>>,
+    /// Register and output words after `latency` symbolic cycles.
+    pub state: &'a UnrolledState<Net>,
+}
+
+/// Builds the formal gate-level obligation for one design: a single net
+/// that must be constant-true over all input assignments at this width.
+///
+/// Golden models mirror the design's register recurrence *structurally*
+/// (same adder/comparator/mux shapes, built from the public blaster
+/// helpers), so the AIG front-end's constant propagation and structural
+/// hashing collapse the miter and the SAT engine stays near-linear even at
+/// widths where a monolithic BDD blows up.
+pub type GateSpecFn = fn(&mut Netlist, &GateEnv) -> Net;
+
 /// A registered design: everything the engine needs to drive the Chisel
 /// interpreter, the generated sequential program, the gate-level baseline,
 /// and the mathematical spec in lockstep.
@@ -42,13 +68,18 @@ pub struct Design {
     pub inputs: &'static [InputSpec],
     /// Smallest width the design elaborates at.
     pub min_width: u64,
-    /// Width cap for the (exponentially priced) gate-level layer.
+    /// Width cap for the gate-level layer (concrete evaluation plus, when
+    /// [`Design::gate_spec`] is set, one formal equivalence proof per
+    /// width via [`chicala_lowlevel::Backend::Auto`]).
     pub gate_max_width: u64,
     /// Cycles from reset until the result registers hold the final answer
     /// (inputs held constant, run started from the ready state).
     pub latency: fn(u64) -> u64,
     /// The mathematical answer check at `latency` cycles.
     pub spec: SpecFn,
+    /// Gate-level golden model for the formal (all-inputs) check; `None`
+    /// limits the gates layer to concrete sampling.
+    pub gate_spec: Option<GateSpecFn>,
 }
 
 impl Design {
@@ -118,6 +149,196 @@ fn xdiv_spec(w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result
     expect_eq("xdiv rem (shiftReg high half)", &s.div_floor(&half), &n.mod_floor(d))
 }
 
+// ---------------------------------------------------------------------
+// Gate-level golden models.
+//
+// Each one rebuilds the design's register recurrence combinationally over
+// the same symbolic inputs, using the blaster's own word helpers so both
+// sides lower to the same gate shapes. The property net compares the
+// design's unrolled result registers against the rebuilt words — a miter
+// that must be constant-true for *every* input assignment at this width.
+// ---------------------------------------------------------------------
+
+fn in_word<'a>(env: &'a GateEnv, name: &str) -> &'a Word<Net> {
+    env.inputs.get(name).unwrap_or_else(|| panic!("gate spec: no input word `{name}`"))
+}
+
+fn reg_word<'a>(env: &'a GateEnv, name: &str) -> &'a Word<Net> {
+    env.state.regs.get(name).unwrap_or_else(|| panic!("gate spec: no register word `{name}`"))
+}
+
+/// Static left shift by `k`, wrapped to `width` bits (the `shl` + register
+/// clamp the designs perform).
+fn shl_word(nl: &mut Netlist, w: &Word<Net>, k: usize, width: usize) -> Word<Net> {
+    let mut bits = vec![nl.constant(false); k.min(width)];
+    bits.extend(w.bits.iter().copied().take(width.saturating_sub(k)));
+    while bits.len() < width {
+        bits.push(nl.constant(false));
+    }
+    Word { bits, signed: false }
+}
+
+/// Static logical right shift by `k`, padded back to `width` bits.
+fn shr_word(nl: &mut Netlist, w: &Word<Net>, k: usize, width: usize) -> Word<Net> {
+    let mut bits: Vec<Net> = w.bits.iter().skip(k).copied().collect();
+    while bits.len() < width {
+        bits.push(nl.constant(false));
+    }
+    bits.truncate(width);
+    Word { bits, signed: false }
+}
+
+fn zero_word(nl: &mut Netlist, width: usize) -> Word<Net> {
+    constant_word(nl, &BigInt::zero(), width, false)
+}
+
+/// `rotate`: after `len + 1` cycles the register has rotated all the way
+/// around — `R == io_in`.
+fn rotate_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
+    nets_equal(nl, reg_word(env, "R"), in_word(env, "io_in"))
+}
+
+/// `popcount`: the same ripple chain of `len` one-bit adds the generator
+/// loop emits.
+fn popcount_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
+    let w = env.width as usize;
+    let input = in_word(env, "io_in").clone();
+    let mut acc = zero_word(nl, w + 1);
+    for i in 0..w {
+        let bit = Word { bits: vec![input.bits[i]], signed: false };
+        acc = add_words(nl, &acc, &bit, w + 1);
+    }
+    let out = env
+        .state
+        .outputs
+        .get("io_out")
+        .unwrap_or_else(|| panic!("gate spec: no output word `io_out`"));
+    nets_equal(nl, out, &acc)
+}
+
+/// `rmul`: one latch cycle, then `len` conditional adds of the
+/// left-shifting multiplicand.
+fn rmul_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
+    let w = env.width as usize;
+    let w2 = 2 * w;
+    let mut a_sh = extend(nl, in_word(env, "io_a"), w2);
+    let mut b_sh = in_word(env, "io_b").clone();
+    let mut acc = zero_word(nl, w2);
+    for _ in 0..w {
+        let sum = add_words(nl, &acc, &a_sh, w2);
+        acc = mux_word(nl, b_sh.bits[0], &sum, &acc);
+        a_sh = shl_word(nl, &a_sh, 1, w2);
+        b_sh = shr_word(nl, &b_sh, 1, w);
+    }
+    nets_equal(nl, reg_word(env, "acc"), &acc)
+}
+
+/// `xmul`: radix-4 Booth windows through the same 3:2 compressor, one
+/// digit per iteration, `len/2 + 1` digits.
+fn xmul_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
+    let w = env.width as usize;
+    let ww = 2 * w + 2; // accumulator width
+    let mut b_sh = shl_word(nl, in_word(env, "io_b"), 1, w + 3);
+    let mut a_sh = extend(nl, in_word(env, "io_a"), ww);
+    let zero = zero_word(nl, ww);
+    let mut acc_s = zero.clone();
+    let mut acc_c = zero.clone();
+    for _ in 0..(w / 2 + 1) {
+        let (w0, w1, wtop) = (b_sh.bits[0], b_sh.bits[1], b_sh.bits[2]);
+        let a1 = a_sh.clone();
+        let a2x = shl_word(nl, &a_sh, 1, ww);
+        let neg_a1 = sub_words(nl, &zero, &a1);
+        let neg_a2x = sub_words(nl, &zero, &a2x);
+        // Window patterns: 000->0, 001->a, 010->a, 011->2a, 100->-2a,
+        // 101->-a, 110->-a, 111->0 (same mux tree as the design).
+        let m00 = mux_word(nl, w0, &zero, &neg_a1);
+        let m01 = mux_word(nl, w0, &neg_a1, &neg_a2x);
+        let hi = mux_word(nl, w1, &m00, &m01);
+        let m10 = mux_word(nl, w0, &a2x, &a1);
+        let m11 = mux_word(nl, w0, &a1, &zero);
+        let lo = mux_word(nl, w1, &m10, &m11);
+        let pp = mux_word(nl, wtop, &hi, &lo);
+        // 3:2 compressor, bitwise.
+        let mut s_bits = Vec::with_capacity(ww);
+        let mut maj_bits = Vec::with_capacity(ww);
+        for i in 0..ww {
+            let sc = nl.xor(acc_s.bits[i], acc_c.bits[i]);
+            s_bits.push(nl.xor(sc, pp.bits[i]));
+            let ab = nl.and(acc_s.bits[i], acc_c.bits[i]);
+            let ap = nl.and(acc_s.bits[i], pp.bits[i]);
+            let cp = nl.and(acc_c.bits[i], pp.bits[i]);
+            let o1 = nl.or(ab, ap);
+            maj_bits.push(nl.or(o1, cp));
+        }
+        acc_s = Word { bits: s_bits, signed: false };
+        let maj = Word { bits: maj_bits, signed: false };
+        acc_c = shl_word(nl, &maj, 1, ww);
+        a_sh = shl_word(nl, &a_sh, 2, ww);
+        b_sh = shr_word(nl, &b_sh, 2, w + 3);
+    }
+    let ps = nets_equal(nl, reg_word(env, "acc_s"), &acc_s);
+    let pc = nets_equal(nl, reg_word(env, "acc_c"), &acc_c);
+    nl.and(ps, pc)
+}
+
+/// `rdiv`: restoring division, one dividend bit per iteration. The mirror
+/// replicates the circuit for *all* inputs (including `io_d == 0`), so no
+/// assumption net is needed.
+fn rdiv_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
+    let w = env.width as usize;
+    let d_reg = in_word(env, "io_d").clone();
+    let mut n_sh = in_word(env, "io_n").clone();
+    let mut rem = zero_word(nl, w + 1);
+    let mut quot = zero_word(nl, w);
+    let one = constant_word(nl, &BigInt::one(), 1, false);
+    for _ in 0..w {
+        // shifted = {rem[len-1:0], n_sh[len-1]}
+        let mut bits = vec![n_sh.bits[w - 1]];
+        bits.extend(rem.bits.iter().take(w).copied());
+        let shifted = Word { bits, signed: false };
+        let ge = ge_words(nl, &shifted, &d_reg);
+        let nge = nl.not(ge);
+        let diff = sub_words(nl, &shifted, &d_reg);
+        // The nested when_else elaborates last-connect-wins: the ¬ge arm is
+        // the *outermost* mux over the ge arm over the held register, so the
+        // golden must build mux(¬ge, keep, mux(ge, update, prev)) — not the
+        // semantically equal mux(ge, update, keep) — for the miter to strash.
+        let sub_arm = mux_word(nl, ge, &diff, &rem);
+        rem = mux_word(nl, nge, &shifted, &sub_arm);
+        let shl_q = shl_word(nl, &quot, 1, w + 1);
+        let q1 = add_words(nl, &shl_q, &one, w + 1);
+        let q_arm = mux_word(nl, ge, &q1, &quot);
+        let q_next = mux_word(nl, nge, &shl_q, &q_arm);
+        quot = Word { bits: q_next.bits.into_iter().take(w).collect(), signed: false };
+        n_sh = shl_word(nl, &n_sh, 1, w);
+    }
+    let pr = nets_equal(nl, reg_word(env, "rem"), &rem);
+    let pq = nets_equal(nl, reg_word(env, "quot"), &quot);
+    nl.and(pr, pq)
+}
+
+/// `xdiv`: the same restoring step over the packed `2·len+1`-bit shift
+/// register.
+fn xdiv_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
+    let w = env.width as usize;
+    let wreg = 2 * w + 1;
+    let d_reg = in_word(env, "io_d").clone();
+    let mut sreg = shl_word(nl, in_word(env, "io_n"), 1, wreg);
+    for _ in 0..w {
+        let hi = Word { bits: sreg.bits[w..=2 * w].to_vec(), signed: false };
+        let lo = Word { bits: sreg.bits[..w].to_vec(), signed: false };
+        let enough = ge_words(nl, &hi, &d_reg);
+        let diff = sub_words(nl, &hi, &d_reg);
+        let sub = mux_word(nl, enough, &diff, &hi);
+        // shiftReg := {sub[len-1:0], lo, enough}
+        let mut bits = vec![enough];
+        bits.extend(lo.bits.iter().copied());
+        bits.extend(sub.bits.iter().take(w).copied());
+        sreg = Word { bits, signed: false };
+    }
+    nets_equal(nl, reg_word(env, "shiftReg"), &sreg)
+}
+
 /// All registered designs. The single enrollment point: every conformance
 /// surface (library runs, `tests/conformance.rs`, the CLI soak) iterates
 /// this list.
@@ -130,18 +351,20 @@ pub fn all_designs() -> Vec<Design> {
             // At len=1 the body's `R(len-1, 1)` extract is empty — the
             // design (like the original Chisel) needs at least 2 bits.
             min_width: 2,
-            gate_max_width: 10,
+            gate_max_width: 28,
             latency: |w| w + 1,
             spec: rotate_spec,
+            gate_spec: Some(rotate_gate),
         },
         Design {
             name: "popcount",
             build: chicala_designs::popcount::module,
             inputs: &[InputSpec { name: "io_in", nonzero: false }],
             min_width: 1,
-            gate_max_width: 10,
+            gate_max_width: 28,
             latency: |_| 1,
             spec: popcount_spec,
+            gate_spec: Some(popcount_gate),
         },
         Design {
             name: "rmul",
@@ -151,9 +374,10 @@ pub fn all_designs() -> Vec<Design> {
                 InputSpec { name: "io_b", nonzero: false },
             ],
             min_width: 1,
-            gate_max_width: 8,
+            gate_max_width: 24,
             latency: |w| w + 1,
             spec: rmul_spec,
+            gate_spec: Some(rmul_gate),
         },
         Design {
             name: "xmul",
@@ -163,10 +387,11 @@ pub fn all_designs() -> Vec<Design> {
                 InputSpec { name: "io_b", nonzero: false },
             ],
             min_width: 1,
-            gate_max_width: 6,
+            gate_max_width: 16,
             // Radix-4: one digit per cycle after the latch cycle.
             latency: |w| w / 2 + 2,
             spec: xmul_spec,
+            gate_spec: Some(xmul_gate),
         },
         Design {
             name: "rdiv",
@@ -176,9 +401,10 @@ pub fn all_designs() -> Vec<Design> {
                 InputSpec { name: "io_d", nonzero: true },
             ],
             min_width: 1,
-            gate_max_width: 8,
+            gate_max_width: 24,
             latency: |w| w + 1,
             spec: rdiv_spec,
+            gate_spec: Some(rdiv_gate),
         },
         Design {
             name: "xdiv",
@@ -188,9 +414,10 @@ pub fn all_designs() -> Vec<Design> {
                 InputSpec { name: "io_d", nonzero: true },
             ],
             min_width: 1,
-            gate_max_width: 6,
+            gate_max_width: 24,
             latency: |w| w + 1,
             spec: xdiv_spec,
+            gate_spec: Some(xdiv_gate),
         },
     ]
 }

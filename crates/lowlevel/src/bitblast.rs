@@ -513,7 +513,8 @@ pub fn constant_word<K: BitKit>(
     Word { bits, signed }
 }
 
-fn reduce_or<K: BitKit>(kit: &mut K, w: &Word<K::Bit>) -> K::Bit {
+/// OR-reduction of a word to one bit (the blaster's truthiness test).
+pub fn reduce_or<K: BitKit>(kit: &mut K, w: &Word<K::Bit>) -> K::Bit {
     let mut acc = kit.constant(false);
     for b in &w.bits {
         acc = kit.or(acc, b.clone());
@@ -558,7 +559,62 @@ pub fn add_words<K: BitKit>(
     Word { bits, signed: a.signed && b.signed }
 }
 
-fn less_than<K: BitKit>(kit: &mut K, x: &Word<K::Bit>, y: &Word<K::Bit>, signed: bool) -> K::Bit {
+/// Two's-complement subtraction at `max(width(a), width(b))`, mirroring
+/// the blaster's `BinaryOp::Sub` construction gate for gate (so golden
+/// recurrences built with it strash against blasted designs).
+pub fn sub_words<K: BitKit>(kit: &mut K, a: &Word<K::Bit>, b: &Word<K::Bit>) -> Word<K::Bit> {
+    let wmax = a.width().max(b.width());
+    let signed = a.signed && b.signed;
+    let be = extend(kit, b, wmax);
+    let inv: Vec<K::Bit> = be.bits.iter().map(|x| kit.not(x.clone())).collect();
+    let ae = extend(kit, a, wmax);
+    let mut carry = kit.constant(true);
+    let mut bits = Vec::with_capacity(wmax);
+    for (i, nb) in inv.iter().enumerate().take(wmax) {
+        let (s, c) = kit.full_add(ae.bits[i].clone(), nb.clone(), carry);
+        bits.push(s);
+        carry = c;
+    }
+    Word { bits, signed }
+}
+
+/// One-bit-condition multiplexer over whole words, mirroring the shape the
+/// blaster builds for `Expr::Mux` (condition words reduce to one bit there;
+/// constant-folding in the AIG front-end makes the two shapes identical).
+pub fn mux_word<K: BitKit>(
+    kit: &mut K,
+    c: K::Bit,
+    t: &Word<K::Bit>,
+    f: &Word<K::Bit>,
+) -> Word<K::Bit> {
+    let w = t.width().max(f.width());
+    let signed = t.signed && f.signed;
+    let te = extend(kit, t, w);
+    let fe = extend(kit, f, w);
+    let bits = te
+        .bits
+        .into_iter()
+        .zip(fe.bits)
+        .map(|(tb, fb)| kit.mux(c.clone(), tb, fb))
+        .collect();
+    Word { bits, signed }
+}
+
+/// `a >= b` as a single bit, mirroring the blaster's `BinaryOp::Ge`
+/// construction exactly (widen by one, compare via `!(a < b)`).
+pub fn ge_words<K: BitKit>(kit: &mut K, a: &Word<K::Bit>, b: &Word<K::Bit>) -> K::Bit {
+    let wmax = a.width().max(b.width());
+    let mixed_signed = a.signed && b.signed;
+    let w = wmax + 1;
+    let xe = extend_to(kit, b, w, b.signed);
+    let ye = extend_to(kit, a, w, a.signed);
+    let gt = less_than(kit, &ye, &xe, mixed_signed);
+    kit.not(gt)
+}
+
+/// `x < y` as a single bit via the sign of the widened subtraction — the
+/// comparator the blaster emits for every relational operator.
+pub fn less_than<K: BitKit>(kit: &mut K, x: &Word<K::Bit>, y: &Word<K::Bit>, signed: bool) -> K::Bit {
     // x < y  ==  sign(x - y) with width w+1 (already sign/zero extended).
     let w = x.width().max(y.width()) + 1;
     let xe = extend_to(kit, x, w, signed);
@@ -585,7 +641,7 @@ fn less_than_swapped<K: BitKit>(
 
 /// Restoring divider returning `(quotient, remainder)`; division by zero
 /// yields quotient 0 and remainder `a` (matching the interpreter).
-fn divide<K: BitKit>(
+pub fn divide<K: BitKit>(
     kit: &mut K,
     a: &Word<K::Bit>,
     b: &Word<K::Bit>,

@@ -3,8 +3,12 @@
 //! inspection) — the low-level baseline whose cost grows with the bit
 //! width, motivating the paper's width-parametric approach.
 
+use crate::aig::{from_netlist, AIG_FALSE, AIG_TRUE};
 use crate::bitblast::{clamp, BitKit, BlastError, Blaster, Word};
+use crate::cnf::tseitin;
+use crate::netlist::{Gate, Net, Netlist};
 use chicala_chisel::{ElabKind, ElabModule};
+use chicala_sat::{SatResult, Solver};
 use chicala_telemetry as telemetry;
 use std::collections::BTreeMap;
 
@@ -121,6 +125,248 @@ pub fn words_equal(
     acc
 }
 
+/// Gate-level proof backend selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Monolithic ROBDD evaluation of the property net (exhaustive
+    /// truth-table-style, wins at small widths).
+    Bdd,
+    /// AIG + Tseitin + CDCL SAT miter (wins once BDDs blow up).
+    Sat,
+    /// BDD at or below [`AUTO_SAT_CROSSOVER_WIDTH`], SAT above it.
+    Auto,
+}
+
+/// The width crossover of [`Backend::Auto`]: the old per-design BDD
+/// ceilings bottomed out at 6 (Booth `xmul`), so at or below this width the
+/// BDD is still the cheaper exhaustive engine and above it the SAT miter
+/// takes over.
+pub const AUTO_SAT_CROSSOVER_WIDTH: usize = 6;
+
+impl Backend {
+    /// Reads the `CHICALA_GATE_BACKEND` override (`bdd` | `sat` | `auto`,
+    /// case-insensitive); unset or unrecognised values yield `None`.
+    pub fn from_env() -> Option<Backend> {
+        match std::env::var("CHICALA_GATE_BACKEND").ok()?.to_ascii_lowercase().as_str() {
+            "bdd" => Some(Backend::Bdd),
+            "sat" => Some(Backend::Sat),
+            "auto" => Some(Backend::Auto),
+            _ => None,
+        }
+    }
+
+    /// The concrete engine for a property at design width `width`.
+    pub fn resolve(self, width: usize) -> Backend {
+        match self {
+            Backend::Auto => {
+                if width <= AUTO_SAT_CROSSOVER_WIDTH {
+                    Backend::Bdd
+                } else {
+                    Backend::Sat
+                }
+            }
+            b => b,
+        }
+    }
+}
+
+/// Outcome of [`prove_net`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProveResult {
+    /// The property net is the constant true: equivalence holds for every
+    /// input assignment at this width.
+    Proved {
+        /// The engine that closed the proof.
+        backend: Backend,
+    },
+    /// A violating assignment over the netlist's `Input` nets (nets absent
+    /// from the map are don't-cares; callers default them to false).
+    Counterexample {
+        /// The engine that found the assignment.
+        backend: Backend,
+        /// Input net values of the violating assignment.
+        inputs: BTreeMap<Net, bool>,
+    },
+}
+
+impl ProveResult {
+    /// Whether the property was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, ProveResult::Proved { .. })
+    }
+}
+
+/// Proves that the single-bit property net `root` is constant-true over
+/// all assignments to the netlist's primary inputs, or produces a
+/// counterexample assignment.
+///
+/// `width` drives the [`Backend::Auto`] crossover; `var_order` fixes the
+/// BDD variable order for input nets (interleaving the operands of an
+/// arithmetic miter keeps BDDs polynomial where a bad order explodes) —
+/// input nets missing from it are ordered after the listed ones.
+pub fn prove_net(
+    nl: &Netlist,
+    root: Net,
+    backend: Backend,
+    width: usize,
+    var_order: &[Net],
+) -> ProveResult {
+    match backend.resolve(width) {
+        Backend::Bdd => prove_net_bdd(nl, root, var_order),
+        _ => prove_net_sat(nl, root),
+    }
+}
+
+/// BDD engine: evaluates the cone of `root` topologically into a fresh
+/// manager and checks the result for tautology.
+pub fn prove_net_bdd(nl: &Netlist, root: Net, var_order: &[Net]) -> ProveResult {
+    let _span = telemetry::span!("prove_net:bdd");
+    let mut bdd = crate::bdd::Bdd::new();
+    // Mark the cone so dead netlist regions cost nothing.
+    let mut in_cone = vec![false; nl.len()];
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if std::mem::replace(&mut in_cone[n.0 as usize], true) {
+            continue;
+        }
+        match nl.gate(n) {
+            Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            Gate::Not(a) => stack.push(a),
+            Gate::Const(_) | Gate::Input => {}
+        }
+    }
+    // Input net -> BDD variable index, honouring the requested order.
+    let mut var_of_net: BTreeMap<Net, u32> = BTreeMap::new();
+    for (i, &n) in var_order.iter().enumerate() {
+        var_of_net.insert(n, i as u32);
+    }
+    let mut next_var = var_order.len() as u32;
+    let mut refs: Vec<crate::bdd::Ref> = Vec::with_capacity(nl.len());
+    for (i, &cone) in in_cone.iter().enumerate() {
+        let net = Net(i as u32);
+        let r = if !cone {
+            crate::bdd::FALSE // placeholder, never read
+        } else {
+            match nl.gate(net) {
+                Gate::Const(b) => bdd.constant(b),
+                Gate::Input => {
+                    let v = *var_of_net.entry(net).or_insert_with(|| {
+                        let v = next_var;
+                        next_var += 1;
+                        v
+                    });
+                    bdd.var(v)
+                }
+                Gate::And(a, b) => {
+                    let (x, y) = (refs[a.0 as usize], refs[b.0 as usize]);
+                    bdd.and(x, y)
+                }
+                Gate::Or(a, b) => {
+                    let (x, y) = (refs[a.0 as usize], refs[b.0 as usize]);
+                    bdd.or(x, y)
+                }
+                Gate::Xor(a, b) => {
+                    let (x, y) = (refs[a.0 as usize], refs[b.0 as usize]);
+                    bdd.xor(x, y)
+                }
+                Gate::Not(a) => {
+                    let x = refs[a.0 as usize];
+                    bdd.not(x)
+                }
+            }
+        };
+        refs.push(r);
+    }
+    telemetry::record("prove.bdd_nodes", bdd.node_count() as u64);
+    let r = refs[root.0 as usize];
+    if bdd.is_true(r) {
+        return ProveResult::Proved { backend: Backend::Bdd };
+    }
+    // A violating assignment is a satisfying assignment of ¬root.
+    let nr = bdd.not(r);
+    let sat = bdd.any_sat(nr).expect("non-true BDD has a falsifying assignment");
+    let net_of_var: BTreeMap<u32, Net> = var_of_net.iter().map(|(n, v)| (*v, *n)).collect();
+    let inputs = sat
+        .into_iter()
+        .filter_map(|(v, b)| net_of_var.get(&v).map(|n| (*n, b)))
+        .collect();
+    ProveResult::Counterexample { backend: Backend::Bdd, inputs }
+}
+
+/// SAT engine: lowers the cone to an AIG (constant propagation, structural
+/// hashing, 2-level rewriting), Tseitin-encodes the surviving miter, and
+/// runs the CDCL solver on its negation.
+pub fn prove_net_sat(nl: &Netlist, root: Net) -> ProveResult {
+    let _span = telemetry::span!("prove_net:sat");
+    let (aig, roots, input_map) = from_netlist(nl, &[root]);
+    telemetry::record("prove.aig_and_requests", aig.and_requests);
+    telemetry::record("prove.aig_nodes", aig.and_count() as u64);
+    let aroot = roots[0];
+    if aroot == AIG_TRUE {
+        // The rewriting front-end already closed the proof.
+        return ProveResult::Proved { backend: Backend::Sat };
+    }
+    if aroot == AIG_FALSE {
+        // Property is constantly false: any assignment violates it.
+        return ProveResult::Counterexample { backend: Backend::Sat, inputs: BTreeMap::new() };
+    }
+    let mut solver = Solver::new();
+    let enc = tseitin(&aig, aroot, &mut solver);
+    solver.add_clause(&[!enc.lit]);
+    let result = solver.solve();
+    let st = solver.stats();
+    telemetry::counter("sat.decisions", st.decisions);
+    telemetry::counter("sat.conflicts", st.conflicts);
+    telemetry::counter("sat.propagations", st.propagations);
+    telemetry::counter("sat.learned_clauses", st.learned_clauses);
+    telemetry::counter("sat.restarts", st.restarts);
+    match result {
+        SatResult::Unsat => ProveResult::Proved { backend: Backend::Sat },
+        SatResult::Sat(model) => {
+            let inputs = input_map
+                .iter()
+                .map(|(net, aref)| {
+                    let var = enc.var_of_node.get(&aref.node());
+                    // Inputs outside the encoded cone are don't-cares.
+                    (*net, var.is_some_and(|v| model[*v as usize]))
+                })
+                .collect();
+            ProveResult::Counterexample { backend: Backend::Sat, inputs }
+        }
+    }
+}
+
+/// Builds the implication `assumptions → property` as a single net:
+/// the standard shape of a conditional equivalence obligation (e.g.
+/// "divisor nonzero implies quotient/remainder match").
+pub fn implies_net(nl: &mut Netlist, assumptions: &[Net], property: Net) -> Net {
+    let mut pre = nl.constant(true);
+    for &a in assumptions {
+        pre = nl.and(pre, a);
+    }
+    let npre = nl.not(pre);
+    nl.or(npre, property)
+}
+
+/// Bitwise equality of two netlist words as a single net (zero-extending
+/// the shorter side) — the miter-building counterpart of [`words_equal`].
+pub fn nets_equal(nl: &mut Netlist, a: &Word<Net>, b: &Word<Net>) -> Net {
+    let w = a.width().max(b.width());
+    let zero = nl.constant(false);
+    let mut acc = nl.constant(true);
+    for i in 0..w {
+        let x = a.bits.get(i).copied().unwrap_or(zero);
+        let y = b.bits.get(i).copied().unwrap_or(zero);
+        let ne = nl.xor(x, y);
+        let eq = nl.not(ne);
+        acc = nl.and(acc, eq);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +402,83 @@ mod tests {
         let st = unroll(&em, &mut bdd, &inputs, &BTreeMap::new(), len).expect("unrolls");
         let eq = words_equal(&mut bdd, &st.regs["R"], &inputs["io_in"]);
         assert!(!bdd.is_true(eq), "one cycle short must not be the identity");
+    }
+
+    #[test]
+    fn prove_net_backends_agree_on_adder_commutativity() {
+        // a + b == b + a at width 6, proved by both engines.
+        let mut nl = crate::netlist::Netlist::new();
+        let w = 6usize;
+        let a = Word { bits: (0..w).map(|_| nl.input()).collect::<Vec<_>>(), signed: false };
+        let b = Word { bits: (0..w).map(|_| nl.input()).collect::<Vec<_>>(), signed: false };
+        let ab = add_words(&mut nl, &a, &b, w);
+        let ba = add_words(&mut nl, &b, &a, w);
+        let eq = nets_equal(&mut nl, &ab, &ba);
+        let order: Vec<crate::netlist::Net> = (0..w)
+            .flat_map(|i| [a.bits[i], b.bits[i]])
+            .collect();
+        assert!(prove_net(&nl, eq, Backend::Bdd, w, &order).is_proved());
+        assert!(prove_net(&nl, eq, Backend::Sat, w, &order).is_proved());
+        assert!(prove_net(&nl, eq, Backend::Auto, w, &order).is_proved());
+    }
+
+    #[test]
+    fn prove_net_counterexamples_are_real() {
+        // a + b == a - b is falsifiable; both engines must return an
+        // assignment that actually falsifies the net.
+        let mut nl = crate::netlist::Netlist::new();
+        let w = 4usize;
+        let a = Word { bits: (0..w).map(|_| nl.input()).collect::<Vec<_>>(), signed: false };
+        let b = Word { bits: (0..w).map(|_| nl.input()).collect::<Vec<_>>(), signed: false };
+        let sum = add_words(&mut nl, &a, &b, w);
+        // a - b = a + ~b + 1.
+        let nb = Word {
+            bits: b.bits.iter().map(|&x| nl.not(x)).collect::<Vec<_>>(),
+            signed: false,
+        };
+        let sum1 = add_words(&mut nl, &a, &nb, w);
+        let one = constant_word(&mut nl, &BigInt::one(), w, false);
+        let diff = add_words(&mut nl, &sum1, &one, w);
+        let eq = nets_equal(&mut nl, &sum, &diff);
+        for backend in [Backend::Bdd, Backend::Sat] {
+            match prove_net(&nl, eq, backend, w, &[]) {
+                ProveResult::Proved { .. } => panic!("{backend:?}: a+b == a-b is not valid"),
+                ProveResult::Counterexample { inputs, .. } => {
+                    let vals = nl.eval(&|net| inputs.get(&net).copied().unwrap_or(false));
+                    assert!(
+                        !vals[eq.0 as usize],
+                        "{backend:?} returned a non-falsifying counterexample"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_backend_crossover_picks_engines_by_width() {
+        assert_eq!(Backend::Auto.resolve(AUTO_SAT_CROSSOVER_WIDTH), Backend::Bdd);
+        assert_eq!(Backend::Auto.resolve(AUTO_SAT_CROSSOVER_WIDTH + 1), Backend::Sat);
+        assert_eq!(Backend::Bdd.resolve(64), Backend::Bdd);
+        assert_eq!(Backend::Sat.resolve(1), Backend::Sat);
+    }
+
+    #[test]
+    fn implies_net_shape() {
+        let mut nl = crate::netlist::Netlist::new();
+        let a = nl.input();
+        let p = nl.input();
+        let imp = implies_net(&mut nl, &[a], p);
+        for bits in 0..4u32 {
+            let vals = nl.eval(&|net| {
+                if net == a {
+                    bits & 1 == 1
+                } else {
+                    bits & 2 == 2
+                }
+            });
+            let want = (bits & 1 != 1) || (bits & 2 == 2);
+            assert_eq!(vals[imp.0 as usize], want);
+        }
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Tseitin CNF emission: encodes an [`Aig`] cone into a
+//! [`chicala_sat::Solver`].
+//!
+//! Each AND node in the cone of the requested root gets a fresh solver
+//! variable with the standard three clauses
+//! `(¬n ∨ x) (¬n ∨ y) (¬x ∨ ¬y ∨ n)`; inputs get plain variables.
+//! Encoding is restricted to the cone of influence, so dead logic in the
+//! graph costs no clauses.
+
+use crate::aig::{Aig, AigNode, AigRef};
+use chicala_sat::{Lit, Solver, Var};
+use std::collections::HashMap;
+
+/// The result of encoding one root: its literal plus the node → variable
+/// map (needed to decode counterexample models back to AIG inputs).
+#[derive(Debug)]
+pub struct CnfRoot {
+    /// Literal equivalent to the root edge.
+    pub lit: Lit,
+    /// Solver variable for each encoded AIG node (by node index).
+    pub var_of_node: HashMap<u32, Var>,
+}
+
+/// Encodes the cone of `root` into `solver`, returning the root literal.
+///
+/// Constant roots short-circuit: a fresh variable is constrained to the
+/// constant so the caller can uniformly assert `lit` or `¬lit`.
+pub fn tseitin(aig: &Aig, root: AigRef, solver: &mut Solver) -> CnfRoot {
+    let mut var_of_node: HashMap<u32, Var> = HashMap::new();
+    // Cone of influence, in (topological) node order.
+    let mut in_cone = vec![false; aig.len()];
+    let mut stack = vec![root.node()];
+    while let Some(n) = stack.pop() {
+        if std::mem::replace(&mut in_cone[n as usize], true) {
+            continue;
+        }
+        if let AigNode::And(x, y) = aig.node(AigRef::from_node(n)) {
+            stack.push(x.node());
+            stack.push(y.node());
+        }
+    }
+    let lit_of = |var_of_node: &HashMap<u32, Var>, r: AigRef| -> Lit {
+        let v = var_of_node[&r.node()];
+        if r.is_compl() {
+            Lit::neg(v)
+        } else {
+            Lit::pos(v)
+        }
+    };
+    for i in 0..aig.len() as u32 {
+        if !in_cone[i as usize] {
+            continue;
+        }
+        let v = solver.new_var();
+        var_of_node.insert(i, v);
+        match aig.node(AigRef::from_node(i)) {
+            AigNode::Const => {
+                // Node 0 is the false constant.
+                solver.add_clause(&[Lit::neg(v)]);
+            }
+            AigNode::Input => {}
+            AigNode::And(x, y) => {
+                let lx = lit_of(&var_of_node, x);
+                let ly = lit_of(&var_of_node, y);
+                let ln = Lit::pos(v);
+                solver.add_clause(&[!ln, lx]);
+                solver.add_clause(&[!ln, ly]);
+                solver.add_clause(&[!lx, !ly, ln]);
+            }
+        }
+    }
+    CnfRoot { lit: lit_of(&var_of_node, root), var_of_node }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::AIG_TRUE;
+    use chicala_sat::SatResult;
+
+    #[test]
+    fn encodes_and_gate_faithfully() {
+        let mut g = Aig::new();
+        let x = g.input();
+        let y = g.input();
+        let r = g.and(x, y);
+        // r must be satisfiable, and every model sets both inputs.
+        let mut s = Solver::new();
+        let enc = tseitin(&g, r, &mut s);
+        s.add_clause(&[enc.lit]);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                let vx = enc.var_of_node[&x.node()];
+                let vy = enc.var_of_node[&y.node()];
+                assert!(m[vx as usize] && m[vy as usize]);
+            }
+            SatResult::Unsat => panic!("x∧y is satisfiable"),
+        }
+        // ¬r ∧ x ∧ y is unsatisfiable.
+        let mut s = Solver::new();
+        let enc = tseitin(&g, r, &mut s);
+        s.add_clause(&[!enc.lit]);
+        let vx = enc.var_of_node[&x.node()];
+        let vy = enc.var_of_node[&y.node()];
+        s.add_clause(&[Lit::pos(vx)]);
+        s.add_clause(&[Lit::pos(vy)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn xor_miter_is_unsat_for_equal_functions() {
+        // Build (a xor b) two ways; the miter of the two copies must be
+        // UNSAT: structural hashing already makes them the same edge, so
+        // the miter is the constant false.
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x1 = g.xor(a, b);
+        let x2 = g.xor(b, a);
+        let miter = g.xor(x1, x2);
+        assert_eq!(miter, crate::aig::AIG_FALSE, "strash collapses the miter");
+        let mut s = Solver::new();
+        let enc = tseitin(&g, miter, &mut s);
+        s.add_clause(&[enc.lit]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn constant_roots_round_trip() {
+        let g = Aig::new();
+        let mut s = Solver::new();
+        let enc = tseitin(&g, AIG_TRUE, &mut s);
+        s.add_clause(&[enc.lit]);
+        assert!(matches!(s.solve(), SatResult::Sat(_)));
+        let mut s = Solver::new();
+        let enc = tseitin(&g, crate::aig::AIG_FALSE, &mut s);
+        s.add_clause(&[enc.lit]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+}

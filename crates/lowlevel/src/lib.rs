@@ -5,13 +5,23 @@
 //! ordered BDDs ([`bdd`]), and checked *per bit width* by symbolic
 //! unrolling ([`check`]) — the approach whose cost grows with width.
 
+pub mod aig;
 pub mod bdd;
 pub mod bitblast;
 pub mod check;
+pub mod cnf;
 pub mod netlist;
 pub mod verilog;
 
-pub use bitblast::{add_words, clamp, constant_word, extend, BitKit, BlastError, Blaster, Word};
-pub use check::{fresh_inputs, unroll, words_equal, UnrolledState};
+pub use aig::{from_netlist, Aig, AigNode, AigRef, AIG_FALSE, AIG_TRUE};
+pub use bitblast::{
+    add_words, clamp, constant_word, divide, extend, ge_words, less_than, mux_word, reduce_or,
+    sub_words, BitKit, BlastError, Blaster, Word,
+};
+pub use check::{
+    fresh_inputs, implies_net, nets_equal, prove_net, prove_net_bdd, prove_net_sat, unroll,
+    words_equal, Backend, ProveResult, UnrolledState, AUTO_SAT_CROSSOVER_WIDTH,
+};
+pub use cnf::{tseitin, CnfRoot};
 pub use netlist::{Gate, Net, Netlist};
 pub use verilog::{emit_verilog, verilog_loc};

@@ -61,6 +61,11 @@ impl Netlist {
         self.gates.len()
     }
 
+    /// The gate driving a net.
+    pub fn gate(&self, n: Net) -> Gate {
+        self.gates[n.0 as usize]
+    }
+
     /// Whether the netlist is empty.
     pub fn is_empty(&self) -> bool {
         self.gates.is_empty()

@@ -25,6 +25,17 @@ pub use axioms::all as axiom_lemmas;
 pub use kernel::{CalcStep, DefFn, Env, Just, Lemma, Limits, Proof, ProofError};
 pub use linarith::{refute, LinCon, Refutation};
 
+/// Bounds this thread's proof-state interners (term arena, linear-constraint
+/// store, refutation memo) at a point where no interned ids are live — the
+/// boundary between independent VCs in a long-running process. The kernel
+/// checkpoints on its own at each `auto` entry; loops that discharge many
+/// VCs (benchmarks, soak runs) should also call this between VCs so memory
+/// stays flat across the whole run.
+pub fn gc_checkpoint() {
+    store::gc_checkpoint();
+    linarith::gc_checkpoint();
+}
+
 /// Number of Fourier–Motzkin invocations so far (profiling aid).
 pub fn refute_calls() -> u64 {
     linarith::REFUTE_CALLS.load(std::sync::atomic::Ordering::Relaxed)

@@ -40,7 +40,8 @@ use chicala::core::transform;
 use chicala::designs::verified_designs;
 use chicala::par::ThreadPool;
 use chicala::verify::{
-    discharge_vc, generate_vcs, prepare_env, refute_calls, refute_micros, Env, Proof, Vc,
+    discharge_vc, gc_checkpoint, generate_vcs, prepare_env, refute_calls, refute_micros, Env,
+    Proof, Vc,
 };
 use std::time::{Duration, Instant};
 
@@ -101,6 +102,12 @@ fn prepare() -> Result<Vec<DesignRun>, String> {
 
 /// Discharges one VC under a fresh deadline; returns outcome and elapsed.
 fn discharge_one(run: &DesignRun, i: usize, deadline: Duration) -> (Outcome, u64) {
+    // No interned ids are live between VCs, so bound the thread-local
+    // term arena and refutation memo here — without this a 113-VC run
+    // grows the interners monotonically (each worker thread has its own
+    // stores, so the checkpoint belongs inside the per-VC call, where it
+    // runs on whichever thread discharges the VC).
+    gc_checkpoint();
     let mut env = run.env.clone();
     let t = Instant::now();
     env.limits.deadline = Some(t + deadline);

@@ -1,0 +1,165 @@
+//! Gate-level backend benchmark: times the per-width design-vs-golden
+//! equivalence proof for every registry design under both the BDD and the
+//! AIG+SAT backend, and writes the results to `BENCH_lowlevel.json`.
+//!
+//! ```text
+//! cargo run --release --example bench_lowlevel            # full sweep
+//! cargo run --release --example bench_lowlevel -- --smoke # CI smoke mode
+//! ```
+//!
+//! For each design the width sweep runs from `min_width` to the registry's
+//! `gate_max_width` ceiling. The SAT backend is timed at every width; the
+//! BDD backend only up to the design's *old* ceiling (the `gate_max_width`
+//! the registry shipped with before the SAT backend existed), past which
+//! monolithic BDDs blow up. The headline number per design is
+//! `speedup_at_old_ceiling`: BDD time over SAT time on the identical miter
+//! at the last width the BDD backend was ever asked to handle.
+//!
+//! Smoke mode caps the sweep at width 12 and exits non-zero unless the SAT
+//! backend proves every miter UNSAT, which is what CI asserts.
+//!
+//! Knobs (environment):
+//! - `CHICALA_BENCH_OUT`: output path (default `BENCH_lowlevel.json`).
+//! - `CHICALA_BENCH_BASELINE`: path to a previous run's JSON; embedded
+//!   verbatim under `"baseline"`.
+
+use chicala::conformance::{all_designs, formal_gate_obligation};
+use chicala::lowlevel::{prove_net, Backend};
+use std::time::Instant;
+
+/// The registry's `gate_max_width` before the SAT backend: the widths the
+/// BDD-only gates layer could afford per design.
+fn old_ceiling(name: &str) -> u64 {
+    match name {
+        "rotate" | "popcount" => 10,
+        "rmul" | "rdiv" => 8,
+        _ => 6, // xmul, xdiv
+    }
+}
+
+struct Row {
+    width: u64,
+    bdd_ns: Option<u64>,
+    sat_ns: u64,
+    sat_proved: bool,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let started = Instant::now();
+    let mut all_sat_proved = true;
+    let mut per_design: Vec<(&'static str, Vec<Row>)> = Vec::new();
+
+    for d in all_designs() {
+        if d.gate_spec.is_none() {
+            continue;
+        }
+        let cap = if smoke { d.gate_max_width.min(12) } else { d.gate_max_width };
+        println!(
+            "{} (widths {}..={cap}, BDD up to {}):",
+            d.name,
+            d.min_width,
+            old_ceiling(d.name)
+        );
+        println!("{:>6} {:>12} {:>12} {:>9}", "width", "BDD", "SAT", "status");
+        let mut rows = Vec::new();
+        for width in d.min_width..=cap {
+            let ob = formal_gate_obligation(&d, width)?.expect("golden model registered");
+            let bdd_ns = (width <= old_ceiling(d.name)).then(|| {
+                let t = Instant::now();
+                let r = prove_net(&ob.netlist, ob.property, Backend::Bdd, width as usize, &ob.var_order);
+                assert!(r.is_proved(), "{} at width {width}: BDD: {r:?}", d.name);
+                t.elapsed().as_nanos() as u64
+            });
+            let t = Instant::now();
+            let r = prove_net(&ob.netlist, ob.property, Backend::Sat, width as usize, &ob.var_order);
+            let sat_ns = t.elapsed().as_nanos() as u64;
+            let sat_proved = r.is_proved();
+            all_sat_proved &= sat_proved;
+            println!(
+                "{:>6} {:>12} {:>12} {:>9}",
+                width,
+                bdd_ns.map_or("-".into(), |ns| format!("{:.2}ms", ns as f64 / 1e6)),
+                format!("{:.2}ms", sat_ns as f64 / 1e6),
+                if sat_proved { "UNSAT" } else { "SAT?!" }
+            );
+            rows.push(Row { width, bdd_ns, sat_ns, sat_proved });
+        }
+        let at_old = rows.iter().find(|r| r.width == old_ceiling(d.name));
+        if let Some(r) = at_old {
+            if let Some(b) = r.bdd_ns {
+                println!(
+                    "  speedup at old ceiling (w={}): {:.1}x\n",
+                    r.width,
+                    b as f64 / r.sat_ns.max(1) as f64
+                );
+            }
+        } else {
+            println!();
+        }
+        per_design.push((d.name, rows));
+    }
+
+    let baseline: Option<String> = std::env::var("CHICALA_BENCH_BASELINE")
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok());
+    let out_path = std::env::var("CHICALA_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_lowlevel.json".to_string());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"all_sat_proved\": {all_sat_proved},\n"));
+    json.push_str("  \"designs\": {\n");
+    for (di, (name, rows)) in per_design.iter().enumerate() {
+        let speedup = rows
+            .iter()
+            .find(|r| r.width == old_ceiling(name))
+            .and_then(|r| r.bdd_ns.map(|b| b as f64 / r.sat_ns.max(1) as f64));
+        json.push_str(&format!("    \"{name}\": {{\n"));
+        json.push_str(&format!("      \"old_ceiling\": {},\n", old_ceiling(name)));
+        json.push_str(&format!(
+            "      \"speedup_at_old_ceiling\": {},\n",
+            speedup.map_or("null".into(), |s| format!("{s:.3}"))
+        ));
+        json.push_str("      \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{ \"width\": {}, \"bdd_ns\": {}, \"sat_ns\": {}, \"sat_proved\": {} }}{}\n",
+                r.width,
+                r.bdd_ns.map_or("null".into(), |n| n.to_string()),
+                r.sat_ns,
+                r.sat_proved,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("      ]\n");
+        json.push_str(&format!(
+            "    }}{}\n",
+            if di + 1 < per_design.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }");
+    if let Some(base) = &baseline {
+        let indented: String = base
+            .trim_end()
+            .lines()
+            .enumerate()
+            .map(|(i, l)| if i == 0 { l.to_string() } else { format!("  {l}") })
+            .collect::<Vec<_>>()
+            .join("\n");
+        json.push_str(",\n");
+        json.push_str(&format!("  \"baseline\": {indented}\n"));
+    } else {
+        json.push('\n');
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, json)?;
+    println!("wrote {out_path} (wall time {:.1?})", started.elapsed());
+
+    if smoke && !all_sat_proved {
+        eprintln!("smoke: a SAT miter was not proved UNSAT");
+        std::process::exit(1);
+    }
+    Ok(())
+}

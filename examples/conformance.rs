@@ -34,6 +34,7 @@ fn json_report(report: &conformance::Report, cfg: &Config) -> JsonValue {
                 .set("skipped", JsonValue::int(st.skipped as u64))
                 .set("min_width", JsonValue::int(st.min_width))
                 .set("max_width", JsonValue::int(st.max_width))
+                .set("width_cap", JsonValue::int(st.width_cap))
                 .set("cycles", JsonValue::int(st.cycles))
                 .set("elapsed_ns", JsonValue::int(st.elapsed_ns))
                 .set(

@@ -2,23 +2,33 @@
 //! steeply with the width, while the high-level parametric proof is done
 //! once for every width.
 //!
-//! For each width w, the shift/add multiplier is unrolled symbolically over
-//! BDDs and the theorem `acc == a*b` is proved *at that width only*; the
-//! table reports BDD sizes and times per width.
+//! Two tables. First, the monolithic-BDD baseline: for each width w, the
+//! shift/add multiplier is unrolled symbolically over BDDs and the theorem
+//! `acc == a*b` is proved *at that width only* — this is the curve that
+//! forced the old `gate_max_width ≤ 10` ceilings. Second, the same
+//! per-width checking task as the conformance gates layer now runs it: the
+//! design-vs-golden-model miter discharged by `prove_net`, BDD and AIG+SAT
+//! side by side, showing where the crossover actually falls and how far
+//! past the old ceiling the SAT backend reaches.
 //!
 //! Run with `cargo run --release --example lowlevel_blowup`.
 
 use chicala::chisel::elaborate;
+use chicala::conformance::{formal_gate_obligation, Design};
 use chicala::lowlevel::bdd::Bdd;
-use chicala::lowlevel::{self, Word};
+use chicala::lowlevel::{self, prove_net, Backend, Word};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Widest direct-product BDD proof attempted (past this the table is all
+/// blowup and no information).
+const BDD_DIRECT_MAX: i64 = 10;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Per-width BDD proof of the shift/add multiplier (acc == a*b):\n");
     println!("{:>6} {:>12} {:>12} {:>9}", "width", "BDD nodes", "time", "status");
     let module = chicala::designs::rmul::module();
-    for len in 2i64..=10 {
+    for len in 2i64..=BDD_DIRECT_MAX {
         let start = Instant::now();
         let em = elaborate(&module, &[("len".to_string(), len)].into_iter().collect())?;
         let mut bdd = Bdd::new();
@@ -44,6 +54,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if ok { "PROVED" } else { "FAILED" }
         );
     }
+
+    let d = Design::by_name("rmul").expect("rmul is registered");
+    println!(
+        "\nThe gates layer's actual per-width check (design-vs-golden miter,\n\
+         `prove_net`), BDD vs AIG+SAT on the identical netlist:\n"
+    );
+    println!("{:>6} {:>12} {:>12} {:>9}", "width", "BDD", "SAT", "status");
+    for width in 2..=d.gate_max_width {
+        let ob = formal_gate_obligation(&d, width)?.expect("rmul has a golden model");
+        let bdd_cell = if width <= BDD_DIRECT_MAX as u64 {
+            let t = Instant::now();
+            let r = prove_net(&ob.netlist, ob.property, Backend::Bdd, width as usize, &ob.var_order);
+            assert!(r.is_proved());
+            format!("{:.2?}", t.elapsed())
+        } else {
+            "-".to_string()
+        };
+        let t = Instant::now();
+        let r = prove_net(&ob.netlist, ob.property, Backend::Sat, width as usize, &ob.var_order);
+        println!(
+            "{:>6} {:>12} {:>12} {:>9}",
+            width,
+            bdd_cell,
+            format!("{:.2?}", t.elapsed()),
+            if r.is_proved() { "PROVED" } else { "FAILED" }
+        );
+    }
+
     println!("\nThe parametric proof (see `verify_multipliers`) covers all of these");
     println!("widths — and every larger one — with a single, width-independent check.");
     Ok(())

@@ -13,6 +13,7 @@ pub use chicala_core as core;
 pub use chicala_designs as designs;
 pub use chicala_lowlevel as lowlevel;
 pub use chicala_par as par;
+pub use chicala_sat as sat;
 pub use chicala_seq as seq;
 pub use chicala_telemetry as telemetry;
 pub use chicala_verify as verify;
