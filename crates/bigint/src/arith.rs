@@ -81,7 +81,35 @@ impl BigInt {
     }
 }
 
+/// The signed value of `x` when its magnitude fits one limb. `|x| < 2^64`,
+/// so the result is exact in `i128` and any sum/difference of two such
+/// values is too.
+#[inline]
+fn single_limb(x: &BigInt) -> Option<i128> {
+    if x.mag.len() <= 1 {
+        let m = x.mag.first().copied().unwrap_or(0) as i128;
+        Some(if x.sign == Sign::Minus { -m } else { m })
+    } else {
+        None
+    }
+}
+
+/// Single-limb comparison fast path; `None` when either operand spills past
+/// one limb. Used by `Ord for BigInt`.
+#[inline]
+pub(crate) fn cmp_single(a: &BigInt, b: &BigInt) -> Option<Ordering> {
+    Some(single_limb(a)?.cmp(&single_limb(b)?))
+}
+
+#[inline]
 fn add_signed(a: &BigInt, b: &BigInt) -> BigInt {
+    if let (Some(x), Some(y)) = (single_limb(a), single_limb(b)) {
+        return BigInt::from(x + y);
+    }
+    add_signed_general(a, b)
+}
+
+pub(crate) fn add_signed_general(a: &BigInt, b: &BigInt) -> BigInt {
     if a.sign == b.sign {
         return BigInt::from_sign_magnitude(a.sign, limbs::add(&a.mag, &b.mag));
     }
@@ -90,6 +118,32 @@ fn add_signed(a: &BigInt, b: &BigInt) -> BigInt {
         Ordering::Greater => BigInt::from_sign_magnitude(a.sign, limbs::sub(&a.mag, &b.mag)),
         Ordering::Less => BigInt::from_sign_magnitude(b.sign, limbs::sub(&b.mag, &a.mag)),
     }
+}
+
+#[inline]
+fn sub_signed(a: &BigInt, b: &BigInt) -> BigInt {
+    if let (Some(x), Some(y)) = (single_limb(a), single_limb(b)) {
+        return BigInt::from(x - y);
+    }
+    add_signed_general(a, &-b.clone())
+}
+
+#[inline]
+fn mul_signed(a: &BigInt, b: &BigInt) -> BigInt {
+    let sign = if a.sign == b.sign { Sign::Plus } else { Sign::Minus };
+    // Magnitude product of two single limbs fits u128 exactly.
+    if a.mag.len() <= 1 && b.mag.len() <= 1 {
+        let p = a.mag.first().copied().unwrap_or(0) as u128
+            * b.mag.first().copied().unwrap_or(0) as u128;
+        return BigInt::from_sign_magnitude(sign, vec![p as u64, (p >> 64) as u64]);
+    }
+    BigInt::from_sign_magnitude(sign, limbs::mul(&a.mag, &b.mag))
+}
+
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn mul_signed_general(a: &BigInt, b: &BigInt) -> BigInt {
+    let sign = if a.sign == b.sign { Sign::Plus } else { Sign::Minus };
+    BigInt::from_sign_magnitude(sign, limbs::mul(&a.mag, &b.mag))
 }
 
 impl Neg for BigInt {
@@ -145,11 +199,8 @@ macro_rules! forward_binop {
 }
 
 forward_binop!(Add, add, add_signed);
-forward_binop!(Sub, sub, |a, b| add_signed(a, &-b.clone()));
-forward_binop!(Mul, mul, |a: &BigInt, b: &BigInt| {
-    let sign = if a.sign == b.sign { Sign::Plus } else { Sign::Minus };
-    BigInt::from_sign_magnitude(sign, limbs::mul(&a.mag, &b.mag))
-});
+forward_binop!(Sub, sub, sub_signed);
+forward_binop!(Mul, mul, mul_signed);
 forward_binop!(Div, div, |a: &BigInt, b: &BigInt| a.div_rem(b).0);
 forward_binop!(Rem, rem, |a: &BigInt, b: &BigInt| a.div_rem(b).1);
 
@@ -235,5 +286,76 @@ mod tests {
         x -= &b(3);
         x *= &b(2);
         assert_eq!(x, b(24));
+    }
+
+    /// Values that straddle every interesting single-limb boundary: small,
+    /// around `2^32`, around the one-limb/two-limb edge at `2^64`, and their
+    /// negations.
+    fn boundary_values() -> Vec<BigInt> {
+        let mut out = Vec::new();
+        let mags: &[u128] = &[
+            0,
+            1,
+            2,
+            3,
+            7,
+            255,
+            256,
+            (1 << 32) - 1,
+            1 << 32,
+            (1 << 32) + 1,
+            u64::MAX as u128 - 1,
+            u64::MAX as u128,
+            u64::MAX as u128 + 1,
+            u64::MAX as u128 + 2,
+            (u64::MAX as u128) * 3,
+        ];
+        for &m in mags {
+            out.push(BigInt::from(m));
+            out.push(-BigInt::from(m));
+        }
+        out
+    }
+
+    #[test]
+    fn single_limb_add_sub_match_general_path() {
+        for x in boundary_values() {
+            for y in boundary_values() {
+                let general_add = super::add_signed_general(&x, &y);
+                assert_eq!(&x + &y, general_add, "{x} + {y}");
+                let general_sub = super::add_signed_general(&x, &-y.clone());
+                assert_eq!(&x - &y, general_sub, "{x} - {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_limb_mul_matches_general_path() {
+        for x in boundary_values() {
+            for y in boundary_values() {
+                assert_eq!(&x * &y, super::mul_signed_general(&x, &y), "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_limb_cmp_matches_general_path() {
+        for x in boundary_values() {
+            for y in boundary_values() {
+                assert_eq!(x.cmp(&y), x.cmp_value_general(&y), "{x} cmp {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_values_against_i128_ground_truth() {
+        for x in -65i128..=65 {
+            for y in -65i128..=65 {
+                assert_eq!(b(x) + b(y), b(x + y), "{x} + {y}");
+                assert_eq!(b(x) - b(y), b(x - y), "{x} - {y}");
+                assert_eq!(b(x) * b(y), b(x * y), "{x} * {y}");
+                assert_eq!(b(x).cmp(&b(y)), x.cmp(&y), "{x} cmp {y}");
+            }
+        }
     }
 }

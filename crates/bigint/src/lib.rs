@@ -142,6 +142,13 @@ impl BigInt {
     }
 
     fn cmp_value(&self, other: &Self) -> Ordering {
+        if let Some(ord) = arith::cmp_single(self, other) {
+            return ord;
+        }
+        self.cmp_value_general(other)
+    }
+
+    pub(crate) fn cmp_value_general(&self, other: &Self) -> Ordering {
         match (self.sign, other.sign) {
             (Sign::Plus, Sign::Minus) => Ordering::Greater,
             (Sign::Minus, Sign::Plus) => Ordering::Less,

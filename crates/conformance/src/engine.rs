@@ -22,19 +22,75 @@ use crate::registry::{all_designs, Design, FinalState, GateEnv};
 use crate::rng::SplitMix64;
 use crate::shrink::shrink;
 use chicala_bigint::BigInt;
-use chicala_chisel::{elaborate, Bindings, ElabKind, ElabModule, Simulator};
+use chicala_chisel::{
+    compile as compile_chisel, elaborate, Bindings, CompiledModule, CompiledSim, ElabKind,
+    ElabModule, Simulator,
+};
 use chicala_core::transform;
 use chicala_lowlevel::{
     constant_word, fresh_inputs, prove_net, unroll, Backend, Net, Netlist, ProveResult,
     UnrolledState, Word,
 };
 use chicala_par::ThreadPool;
-use chicala_seq::{SValue, SeqRunner};
+use chicala_seq::{compile_seq, SValue, SeqCompiled, SeqProgram, SeqRunner, SeqVm};
 use chicala_telemetry as telemetry;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Which simulator drives the cosim and spec layers.
+///
+/// The compiled backend lowers both sides of the cosim comparison once per
+/// (design, width) — the elaborated module to a slot-indexed
+/// [`CompiledSim`] and the generated sequential program to a [`SeqVm`] —
+/// and reuses the programs across every case and worker. It is exact where
+/// it answers at all: any construct or value outside the compiled subset
+/// falls back to the tree-walking interpreters for that case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimBackend {
+    /// Tree-walking interpreters ([`Simulator`] / [`SeqRunner`]) only.
+    Interp,
+    /// Compiled VMs with per-case interpreter fallback (the default).
+    Compiled,
+    /// Run both and cross-check every output and register on every cycle;
+    /// any disagreement between a compiled VM and its interpreter is
+    /// reported as a divergence.
+    Both,
+}
+
+impl SimBackend {
+    /// Stable lower-case name (the `CHICALA_SIM_BACKEND` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimBackend::Interp => "interp",
+            SimBackend::Compiled => "compiled",
+            SimBackend::Both => "both",
+        }
+    }
+
+    /// Parses a backend name.
+    pub fn parse(s: &str) -> Option<SimBackend> {
+        [SimBackend::Interp, SimBackend::Compiled, SimBackend::Both]
+            .into_iter()
+            .find(|b| b.name() == s)
+    }
+
+    /// Reads `CHICALA_SIM_BACKEND` (`interp` / `compiled` / `both`),
+    /// defaulting to [`SimBackend::Compiled`].
+    pub fn from_env() -> SimBackend {
+        match std::env::var("CHICALA_SIM_BACKEND") {
+            Ok(v) => SimBackend::parse(v.trim()).unwrap_or(SimBackend::Compiled),
+            Err(_) => SimBackend::Compiled,
+        }
+    }
+}
+
+impl fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// A comparable semantic layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -144,6 +200,8 @@ pub struct Config {
     /// Stop a design's layer at the first divergence (soak runs may prefer
     /// to keep going and report all of them).
     pub stop_at_first: bool,
+    /// Simulator driving the cosim and spec layers.
+    pub backend: SimBackend,
 }
 
 impl Default for Config {
@@ -154,6 +212,7 @@ impl Default for Config {
             max_width: 24,
             layers: Layer::ALL.to_vec(),
             stop_at_first: true,
+            backend: SimBackend::from_env(),
         }
     }
 }
@@ -332,10 +391,87 @@ pub fn gen_case(d: &Design, case_seed: u64, max_width: u64) -> Case {
     Case { width, cycles, inputs }.normalized(d)
 }
 
-fn elab(d: &Design, width: u64) -> Result<ElabModule, String> {
+/// Elaborates `d` at `width`, memoised process-wide: elaboration is a pure
+/// function of (design, width), so every case of every layer — and every
+/// worker — shares one `ElabModule` instead of re-elaborating per case.
+fn elab(d: &Design, width: u64) -> Result<Arc<ElabModule>, String> {
+    type ElabMemo = Mutex<HashMap<(String, u64), Result<Arc<ElabModule>, String>>>;
+    static MEMO: OnceLock<ElabMemo> = OnceLock::new();
+    let memo = MEMO.get_or_init(Default::default);
+    let key = (d.name.to_string(), width);
+    if let Some(r) = memo.lock().expect("elab memo lock").get(&key) {
+        return r.clone();
+    }
     let m = (d.build)();
     let bindings: Bindings = [("len".to_string(), width as i64)].into_iter().collect();
-    elaborate(&m, &bindings).map_err(|e| format!("{}: elaboration at width {width}: {e}", d.name))
+    let r = elaborate(&m, &bindings)
+        .map(Arc::new)
+        .map_err(|e| format!("{}: elaboration at width {width}: {e}", d.name));
+    memo.lock().expect("elab memo lock").insert(key, r.clone());
+    r
+}
+
+/// The generated sequential program of `d`, memoised process-wide (the
+/// transformation is width-independent: widths stay symbolic parameters).
+fn transform_arc(d: &Design) -> Result<Arc<SeqProgram>, String> {
+    type TransMemo = Mutex<HashMap<String, Result<Arc<SeqProgram>, String>>>;
+    static MEMO: OnceLock<TransMemo> = OnceLock::new();
+    let memo = MEMO.get_or_init(Default::default);
+    if let Some(r) = memo.lock().expect("transform memo lock").get(d.name) {
+        return r.clone();
+    }
+    let m = (d.build)();
+    let r = transform(&m)
+        .map(|out| Arc::new(out.program))
+        .map_err(|e| format!("{}: transform: {e}", d.name));
+    memo.lock().expect("transform memo lock").insert(d.name.to_string(), r.clone());
+    r
+}
+
+/// Everything the compiled backend needs for one (design, width), built
+/// once and shared across cases and workers. Either compiled side may be
+/// absent (outside its compiler's subset); checks then fall back to the
+/// corresponding tree-walking interpreter.
+struct SimPlan {
+    em: Arc<ElabModule>,
+    prog: Arc<SeqProgram>,
+    chisel: Option<Arc<CompiledModule>>,
+    seq: Option<Arc<SeqCompiled>>,
+}
+
+fn sim_plan(d: &Design, width: u64) -> Result<Arc<SimPlan>, String> {
+    type PlanMemo = Mutex<HashMap<(String, u64), Result<Arc<SimPlan>, String>>>;
+    static MEMO: OnceLock<PlanMemo> = OnceLock::new();
+    let memo = MEMO.get_or_init(Default::default);
+    let key = (d.name.to_string(), width);
+    if let Some(r) = memo.lock().expect("plan memo lock").get(&key) {
+        return r.clone();
+    }
+    let r = sim_plan_uncached(d, width).map(Arc::new);
+    memo.lock().expect("plan memo lock").insert(key, r.clone());
+    r
+}
+
+fn sim_plan_uncached(d: &Design, width: u64) -> Result<SimPlan, String> {
+    let em = elab(d, width)?;
+    let prog = transform_arc(d)?;
+    let chisel = match compile_chisel(&em) {
+        Ok(p) => Some(Arc::new(p)),
+        Err(_) => {
+            telemetry::counter("conformance.sim.chisel_compile_fallback", 1);
+            None
+        }
+    };
+    let params: BTreeMap<String, BigInt> =
+        [("len".to_string(), BigInt::from(width))].into_iter().collect();
+    let seq = match compile_seq(&prog, &params) {
+        Ok(p) => Some(Arc::new(p)),
+        Err(_) => {
+            telemetry::counter("conformance.sim.seq_compile_fallback", 1);
+            None
+        }
+    };
+    Ok(SimPlan { em, prog, chisel, seq })
 }
 
 fn svalue_scalar(v: &SValue) -> Option<BigInt> {
@@ -346,17 +482,26 @@ fn svalue_scalar(v: &SValue) -> Option<BigInt> {
     }
 }
 
-/// Layer A: interpreter vs generated sequential program, cycle by cycle,
-/// over every output and every (scalar) register.
-fn check_cosim(d: &Design, case: &Case) -> Result<u64, String> {
+/// Layer A: the Chisel cycle semantics vs the generated sequential
+/// program, cycle by cycle, over every output and every (scalar) register.
+fn check_cosim(d: &Design, case: &Case, backend: SimBackend) -> Result<u64, String> {
+    match backend {
+        SimBackend::Interp => check_cosim_interp(d, case),
+        SimBackend::Compiled => check_cosim_compiled(d, case),
+        SimBackend::Both => check_cosim_both(d, case),
+    }
+}
+
+/// The tree-walking reference pairing: [`Simulator`] vs [`SeqRunner`].
+fn check_cosim_interp(d: &Design, case: &Case) -> Result<u64, String> {
+    telemetry::counter("conformance.sim.interp_cases", 1);
     let em = elab(d, case.width)?;
     let mut sim = Simulator::new(&em, &BTreeMap::new()).map_err(|e| e.to_string())?;
     let hw_inputs = case.input_map(d);
 
-    let m = (d.build)();
-    let out = transform(&m).map_err(|e| format!("{}: transform: {e}", d.name))?;
+    let prog = transform_arc(d)?;
     let runner = SeqRunner::new(
-        &out.program,
+        &prog,
         [("len".to_string(), BigInt::from(case.width))].into_iter().collect(),
     );
     let sw_inputs: BTreeMap<String, SValue> = hw_inputs
@@ -370,6 +515,227 @@ fn check_cosim(d: &Design, case: &Case) -> Result<u64, String> {
         let sw = runner
             .trans(&sw_inputs, &sw_regs)
             .map_err(|e| format!("{}: sequential step failed at cycle {cycle}: {e}", d.name))?;
+        for (name, hv) in &hw_out {
+            let sv = sw
+                .outputs
+                .get(name)
+                .and_then(svalue_scalar)
+                .ok_or_else(|| format!("cycle {cycle}: output `{name}` missing from program"))?;
+            if *hv != sv {
+                return Err(format!(
+                    "cosim: cycle {cycle}: output `{name}`: interpreter={hv} program={sv}"
+                ));
+            }
+        }
+        for (name, svv) in &sw.regs {
+            let Some(sv) = svalue_scalar(svv) else { continue };
+            let hv = sim
+                .reg(name)
+                .ok_or_else(|| format!("cycle {cycle}: program register `{name}` unknown to interpreter"))?;
+            if *hv != sv {
+                return Err(format!(
+                    "cosim: cycle {cycle}: register `{name}`: interpreter={hv} program={sv}"
+                ));
+            }
+        }
+        sw_regs = sw.regs;
+    }
+    Ok(case.cycles)
+}
+
+/// Index pairs `(chisel port, seq port)` for one port class, compared
+/// positionally every cycle by the compiled cosim loop.
+type PortPairs = Vec<(usize, usize)>;
+
+/// Pairs every compiled-Chisel port with its sequential-program
+/// counterpart, mirroring the name-driven comparison of the interp path:
+/// every hardware output must exist in the program, and every program
+/// register must be known to the hardware side.
+fn pair_ports(
+    chisel: &CompiledModule,
+    seq: &SeqCompiled,
+) -> Result<(PortPairs, PortPairs), String> {
+    let mut outs = Vec::with_capacity(chisel.outputs_len());
+    for i in 0..chisel.outputs_len() {
+        let name = chisel.output_name(i);
+        let j = seq
+            .output_index(name)
+            .ok_or_else(|| format!("cycle 0: output `{name}` missing from program"))?;
+        outs.push((i, j));
+    }
+    let mut regs = Vec::with_capacity(seq.regs_len());
+    for j in 0..seq.regs_len() {
+        let name = seq.reg_name(j);
+        let i = chisel
+            .reg_index(name)
+            .ok_or_else(|| format!("cycle 0: program register `{name}` unknown to interpreter"))?;
+        regs.push((i, j));
+    }
+    Ok((outs, regs))
+}
+
+/// Whether the compiled-Chisel value at `hw` equals the sequential VM's raw
+/// value, via the `u128` fast path when the hardware lane allows it.
+fn hw_eq_raw(hw: Option<u128>, hw_big: impl FnOnce() -> BigInt, raw: i128) -> bool {
+    match hw {
+        Some(v) => raw >= 0 && v == raw as u128,
+        None => hw_big() == BigInt::from(raw),
+    }
+}
+
+/// The compiled pairing: [`CompiledSim`] vs [`SeqVm`], falling back to the
+/// interpreters when either side of the (design, width) failed to compile
+/// or the sequential VM bails out at runtime (`i128` overflow).
+fn check_cosim_compiled(d: &Design, case: &Case) -> Result<u64, String> {
+    let plan = sim_plan(d, case.width)?;
+    let (Some(chisel), Some(seq)) = (&plan.chisel, &plan.seq) else {
+        telemetry::counter("conformance.sim.case_fallback", 1);
+        return check_cosim_interp(d, case);
+    };
+    match run_cosim_vms(d, case, chisel, seq) {
+        Ok(verdict) => verdict,
+        // The sequential VM left its i128 envelope: the case is legal but
+        // outside the compiled subset — re-check it on the interpreters.
+        Err(_bail) => {
+            telemetry::counter("conformance.sim.case_fallback", 1);
+            check_cosim_interp(d, case)
+        }
+    }
+}
+
+/// Drives the two compiled VMs in lockstep. The outer `Err` means the
+/// sequential VM could not complete the case (fall back to the
+/// interpreters); the inner result is the conformance verdict.
+fn run_cosim_vms(
+    d: &Design,
+    case: &Case,
+    chisel: &CompiledModule,
+    seq: &SeqCompiled,
+) -> Result<Result<u64, String>, chicala_seq::SeqError> {
+    telemetry::counter("conformance.sim.compiled_cases", 1);
+    let hw_inputs = case.input_map(d);
+    let (out_pairs, reg_pairs) = match pair_ports(chisel, seq) {
+        Ok(p) => p,
+        Err(e) => return Ok(Err(e)),
+    };
+    let mut hw = CompiledSim::new(chisel, &BTreeMap::new());
+    hw.set_inputs(&hw_inputs);
+    let sw_inputs: BTreeMap<String, SValue> = hw_inputs
+        .iter()
+        .map(|(k, v)| (k.clone(), SValue::Int(v.clone())))
+        .collect();
+    let mut sw = SeqVm::new(seq, &BTreeMap::new())?;
+    sw.set_inputs(&sw_inputs)?;
+    for cycle in 0..case.cycles {
+        hw.step();
+        sw.step()?;
+        for &(i, j) in &out_pairs {
+            if !hw_eq_raw(hw.output_u128(i), || hw.output_value(i), sw.output_raw(j)) {
+                let name = chisel.output_name(i);
+                return Ok(Err(format!(
+                    "cosim: cycle {cycle}: output `{name}`: interpreter={} program={}",
+                    hw.output_value(i),
+                    BigInt::from(sw.output_raw(j)),
+                )));
+            }
+        }
+        for &(i, j) in &reg_pairs {
+            if !hw_eq_raw(hw.reg_u128(i), || hw.reg_value(i), sw.reg_raw(j)) {
+                let name = seq.reg_name(j);
+                return Ok(Err(format!(
+                    "cosim: cycle {cycle}: register `{name}`: interpreter={} program={}",
+                    hw.reg_value(i),
+                    BigInt::from(sw.reg_raw(j)),
+                )));
+            }
+        }
+    }
+    Ok(Ok(case.cycles))
+}
+
+/// Cross-checking mode: runs the interpreters as ground truth, steps each
+/// compiled VM alongside, and reports any compiled-vs-interpreted
+/// disagreement on any output or register of any cycle as a divergence —
+/// on top of the usual hardware-vs-program comparison.
+fn check_cosim_both(d: &Design, case: &Case) -> Result<u64, String> {
+    let plan = sim_plan(d, case.width)?;
+    let em = &plan.em;
+    let mut sim = Simulator::new(em, &BTreeMap::new()).map_err(|e| e.to_string())?;
+    let hw_inputs = case.input_map(d);
+    let runner = SeqRunner::new(
+        &plan.prog,
+        [("len".to_string(), BigInt::from(case.width))].into_iter().collect(),
+    );
+    let sw_inputs: BTreeMap<String, SValue> = hw_inputs
+        .iter()
+        .map(|(k, v)| (k.clone(), SValue::Int(v.clone())))
+        .collect();
+    let mut sw_regs = runner.init_regs(&BTreeMap::new()).map_err(|e| e.to_string())?;
+
+    let mut hw_vm = plan.chisel.as_deref().map(|p| {
+        let mut vm = CompiledSim::new(p, &BTreeMap::new());
+        vm.set_inputs(&hw_inputs);
+        vm
+    });
+    let mut sw_vm = match plan.seq.as_deref() {
+        Some(p) => match SeqVm::new(p, &BTreeMap::new()) {
+            Ok(mut vm) => match vm.set_inputs(&sw_inputs) {
+                Ok(()) => Some(vm),
+                Err(_) => None,
+            },
+            Err(_) => None,
+        },
+        None => None,
+    };
+
+    for cycle in 0..case.cycles {
+        let hw_out = sim.step(&hw_inputs).map_err(|e| e.to_string())?;
+        let sw = runner
+            .trans(&sw_inputs, &sw_regs)
+            .map_err(|e| format!("{}: sequential step failed at cycle {cycle}: {e}", d.name))?;
+        if let Some(vm) = &mut hw_vm {
+            vm.step();
+            let prog = vm.program();
+            for i in 0..prog.outputs_len() {
+                let name = prog.output_name(i);
+                let want = &hw_out[name];
+                let got = vm.output_value(i);
+                if got != *want {
+                    return Err(format!(
+                        "cosim: cycle {cycle}: compiled Chisel VM diverges from interpreter \
+                         on output `{name}`: interp={want} compiled={got}"
+                    ));
+                }
+            }
+            for i in 0..prog.regs_len() {
+                let name = prog.reg_name(i);
+                let want = sim.reg(name).cloned().unwrap_or_else(BigInt::zero);
+                let got = vm.reg_value(i);
+                if got != want {
+                    return Err(format!(
+                        "cosim: cycle {cycle}: compiled Chisel VM diverges from interpreter \
+                         on register `{name}`: interp={want} compiled={got}"
+                    ));
+                }
+            }
+        }
+        if let Some(vm) = &mut sw_vm {
+            match vm.step() {
+                // Legal bail-out (i128 envelope): drop the VM, keep the
+                // interpreter comparison going.
+                Err(_) => sw_vm = None,
+                Ok(()) => {
+                    let got = vm.trans_result();
+                    if got.outputs != sw.outputs || got.regs != sw.regs {
+                        return Err(format!(
+                            "cosim: cycle {cycle}: compiled sequential VM diverges from \
+                             interpreter: interp outs={:?} regs={:?}; compiled outs={:?} regs={:?}",
+                            sw.outputs, sw.regs, got.outputs, got.regs
+                        ));
+                    }
+                }
+            }
+        }
         for (name, hv) in &hw_out {
             let sv = sw
                 .outputs
@@ -600,22 +966,80 @@ pub fn final_state(d: &Design, case: &Case) -> Result<FinalState, String> {
     Ok(FinalState { regs: sim.regs().clone(), outputs })
 }
 
+/// [`final_state`] on the compiled Chisel VM; `None` when this (design,
+/// width) is outside the compiled subset.
+fn final_state_compiled(d: &Design, case: &Case) -> Result<Option<FinalState>, String> {
+    let plan = sim_plan(d, case.width)?;
+    let Some(chisel) = &plan.chisel else { return Ok(None) };
+    let mut vm = CompiledSim::new(chisel, &BTreeMap::new());
+    vm.set_inputs(&case.input_map(d));
+    for _ in 0..(d.latency)(case.width) {
+        vm.step();
+    }
+    let prog = chisel.as_ref();
+    let regs = (0..prog.regs_len())
+        .map(|i| (prog.reg_name(i).to_string(), vm.reg_value(i)))
+        .collect();
+    let outputs = (0..prog.outputs_len())
+        .map(|i| (prog.output_name(i).to_string(), vm.output_value(i)))
+        .collect();
+    Ok(Some(FinalState { regs, outputs }))
+}
+
 /// Layer C: final state after the full latency vs the mathematical spec.
-fn check_spec(d: &Design, case: &Case) -> Result<u64, String> {
-    let fin = final_state(d, case)?;
+fn check_spec(d: &Design, case: &Case, backend: SimBackend) -> Result<u64, String> {
+    let fin = match backend {
+        SimBackend::Interp => final_state(d, case)?,
+        SimBackend::Compiled => match final_state_compiled(d, case)? {
+            Some(fin) => fin,
+            None => {
+                telemetry::counter("conformance.sim.case_fallback", 1);
+                final_state(d, case)?
+            }
+        },
+        SimBackend::Both => {
+            let want = final_state(d, case)?;
+            if let Some(got) = final_state_compiled(d, case)? {
+                if got.regs != want.regs || got.outputs != want.outputs {
+                    return Err(format!(
+                        "spec: compiled Chisel VM diverges from interpreter after {} cycles: \
+                         interp regs={:?} outs={:?}; compiled regs={:?} outs={:?}",
+                        (d.latency)(case.width),
+                        want.regs,
+                        want.outputs,
+                        got.regs,
+                        got.outputs
+                    ));
+                }
+            }
+            want
+        }
+    };
     (d.spec)(case.width, &case.input_map(d), &fin)
         .map_err(|e| format!("spec: after {} cycles: {e}", (d.latency)(case.width)))?;
     Ok((d.latency)(case.width))
 }
 
 /// Checks one case against one layer. Returns the number of cycles
-/// simulated, or the first divergence.
+/// simulated, or the first divergence. Uses the environment-selected
+/// simulation backend ([`SimBackend::from_env`]).
 pub fn check_case(d: &Design, layer: Layer, case: &Case) -> Result<u64, String> {
+    check_case_with(d, layer, case, SimBackend::from_env())
+}
+
+/// [`check_case`] with an explicit simulation backend (the engine's
+/// [`Config::backend`] comes through here).
+pub fn check_case_with(
+    d: &Design,
+    layer: Layer,
+    case: &Case,
+    backend: SimBackend,
+) -> Result<u64, String> {
     let case = case.normalized(d);
     match layer {
-        Layer::Cosim => check_cosim(d, &case),
+        Layer::Cosim => check_cosim(d, &case, backend),
         Layer::Gates => check_gates(d, &case),
-        Layer::Spec => check_spec(d, &case),
+        Layer::Spec => check_spec(d, &case, backend),
     }
 }
 
@@ -694,7 +1118,7 @@ pub fn run_design(d: &Design, cfg: &Config) -> Report {
             Slot::Skipped => None,
             Slot::Job(_, _, case) => {
                 let started = Instant::now();
-                let outcome = check_case(d, layer, case);
+                let outcome = check_case_with(d, layer, case, cfg.backend);
                 Some((outcome, started.elapsed().as_nanos() as u64))
             }
         });
@@ -712,6 +1136,12 @@ pub fn run_design(d: &Design, cfg: &Config) -> Report {
                     format!("conformance.case_ns.{}.{}", d.name, layer.name()).as_str(),
                     elapsed_ns,
                 );
+                if layer == Layer::Cosim && elapsed_ns > 0 {
+                    telemetry::record(
+                        "conformance.cosim.cycles_per_sec",
+                        case.cycles.saturating_mul(1_000_000_000) / elapsed_ns,
+                    );
+                }
             }
             match outcome {
                 Ok(cycles) => stats.record(&case, cycles, elapsed_ns),

@@ -30,8 +30,9 @@ pub mod rng;
 pub mod shrink;
 
 pub use engine::{
-    check_case, final_state, formal_gate_obligation, gen_case, gen_case_for, replay_case, run_all,
-    run_design, Case, Config, Failure, FormalObligation, Layer, LayerStats, Report,
+    check_case, check_case_with, final_state, formal_gate_obligation, gen_case, gen_case_for,
+    replay_case, run_all, run_design, Case, Config, Failure, FormalObligation, Layer, LayerStats,
+    Report, SimBackend,
 };
 pub use registry::{all_designs, Design, FinalState, GateEnv, GateSpecFn, InputSpec};
 pub use rng::{seed_from_env, SplitMix64};

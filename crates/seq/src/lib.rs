@@ -37,10 +37,12 @@
 //! # Ok::<(), chicala_seq::SeqError>(())
 //! ```
 
+mod compile;
 mod expr;
 mod interp;
 mod program;
 
+pub use compile::{compile_seq, SeqCompileError, SeqCompiled, SeqVm};
 pub use expr::{SBinop, SCmp, SExpr, SValue, SeqError};
 pub use interp::{eval_expr, exec_stmts, Env, SeqRunner, TransResult};
 pub use program::{next_name, SFunc, SStmt, SeqProgram, SeqVarDecl, NEXT_SUFFIX};

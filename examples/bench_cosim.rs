@@ -1,0 +1,206 @@
+//! Cosimulation throughput benchmark: times the conformance engine's cosim
+//! layer for every registered design under the tree-walking interpreters
+//! and under the compiled slot-indexed VMs, over the *same* seeded case
+//! list, and writes the results to `BENCH_cosim.json`.
+//!
+//! ```text
+//! cargo run --release --example bench_cosim            # full run
+//! cargo run --release --example bench_cosim -- --smoke # CI smoke mode
+//! ```
+//!
+//! Methodology — the numbers are meant to be honest:
+//!
+//! - Both backends check the identical `(design, case)` workload generated
+//!   from a fixed seed at the default soak width cap (`--max-width 24`), so
+//!   per-case cycle counts, stimuli and widths match exactly.
+//! - One unmeasured warmup case per design per backend runs first. This
+//!   pre-populates the process-wide elaboration/transform memos for BOTH
+//!   backends and the compiled-program cache for the compiled backend, so
+//!   the timed sections compare steady-state soak throughput (a soak run
+//!   compiles each (design, width) once and reuses it for thousands of
+//!   cases; per-width compile cost is reported separately as
+//!   `compile_warm_ns`).
+//! - The compiled backend silently falls back to the interpreters for
+//!   cases its `i128` envelope cannot hold; at width ≤ 24 this does not
+//!   happen, but `compiled_ok` would still be `true` (the fallback is
+//!   correct, just slow). What `compiled_ok` asserts is that every case
+//!   CHECKED GREEN under the compiled backend — any divergence fails the
+//!   whole bench.
+//!
+//! Machine-greppable flags for CI:
+//! - `"all_compiled_ok": true` — every case of every design checked green
+//!   under the compiled backend.
+//! - `"arith_all_faster": true` — compiled beat interp on every arithmetic
+//!   design (rmul, xmul, rdiv, xdiv).
+//!
+//! Knobs (environment):
+//! - `CHICALA_BENCH_OUT`: output path (default `BENCH_cosim.json`).
+//! - `CHICALA_BENCH_CASES`: cases per design (default 256; 16 in smoke
+//!   mode).
+//! - `CHICALA_BENCH_WIDTH`: width ceiling (default 24).
+
+use chicala::conformance::{
+    all_designs, check_case_with, gen_case_for, Case, Design, Layer, SimBackend, SplitMix64,
+};
+use chicala::telemetry::JsonValue;
+use std::time::Instant;
+
+const ARITH_DESIGNS: [&str; 4] = ["rmul", "xmul", "rdiv", "xdiv"];
+
+struct DesignResult {
+    name: &'static str,
+    cases: usize,
+    cycles: u64,
+    interp_ns: u64,
+    compiled_ns: u64,
+    compile_warm_ns: u64,
+    compiled_ok: bool,
+}
+
+impl DesignResult {
+    fn interp_rate(&self) -> f64 {
+        self.cases as f64 / (self.interp_ns.max(1) as f64 / 1e9)
+    }
+    fn compiled_rate(&self) -> f64 {
+        self.cases as f64 / (self.compiled_ns.max(1) as f64 / 1e9)
+    }
+    fn speedup(&self) -> f64 {
+        self.interp_ns as f64 / self.compiled_ns.max(1) as f64
+    }
+}
+
+/// Checks every case under one backend, timed as a block. Returns total
+/// elapsed and whether every case was green.
+fn run_pass(d: &Design, cases: &[Case], backend: SimBackend) -> (u64, bool) {
+    let t = Instant::now();
+    let mut ok = true;
+    for case in cases {
+        if let Err(e) = check_case_with(d, Layer::Cosim, case, backend) {
+            eprintln!("  DIVERGENCE {} [{backend}]: {e}", d.name);
+            ok = false;
+        }
+    }
+    (t.elapsed().as_nanos() as u64, ok)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let env_num = |k: &str, dflt: u64| {
+        std::env::var(k).ok().and_then(|s| s.parse::<u64>().ok()).unwrap_or(dflt)
+    };
+    let n_cases = env_num("CHICALA_BENCH_CASES", if smoke { 16 } else { 256 }) as usize;
+    let max_width = env_num("CHICALA_BENCH_WIDTH", 24);
+    let seed: u64 = 0xC051_4B3C_B33F_5EED; // fixed workload seed
+    let started = Instant::now();
+
+    println!(
+        "cosim bench: {} designs, {n_cases} cases each, widths up to {max_width}",
+        all_designs().len()
+    );
+
+    let mut results: Vec<DesignResult> = Vec::new();
+    for (di, d) in all_designs().iter().enumerate() {
+        // Identical workload for both backends.
+        let mut rng = SplitMix64::new(seed ^ ((di as u64) << 16));
+        let cases: Vec<Case> = (0..n_cases)
+            .map(|_| gen_case_for(d, Layer::Cosim, rng.next_u64(), max_width))
+            .collect();
+        let cycles: u64 = cases.iter().map(|c| c.cycles).sum();
+
+        // Warmup: one single-cycle case per distinct width in the
+        // workload, per backend, untimed. A soak run elaborates and
+        // compiles each (design, width) once and then reuses it for
+        // thousands of cases, so the timed sections below compare
+        // steady-state throughput; the total per-width warmup cost of the
+        // compiled backend (compilation included) is reported separately
+        // as compile_warm_ns so it is visible, not hidden.
+        let mut widths: Vec<u64> = cases.iter().map(|c| c.width).collect();
+        widths.sort_unstable();
+        widths.dedup();
+        let mut compile_warm_ns = 0u64;
+        for &w in &widths {
+            let warm = Case {
+                cycles: 1,
+                ..cases.iter().find(|c| c.width == w).expect("width from list").clone()
+            };
+            check_case_with(d, Layer::Cosim, &warm, SimBackend::Interp)
+                .map_err(|e| format!("{} warmup (interp, width {w}): {e}", d.name))?;
+            let t = Instant::now();
+            check_case_with(d, Layer::Cosim, &warm, SimBackend::Compiled)
+                .map_err(|e| format!("{} warmup (compiled, width {w}): {e}", d.name))?;
+            compile_warm_ns += t.elapsed().as_nanos() as u64;
+        }
+
+        let (interp_ns, interp_ok) = run_pass(d, &cases, SimBackend::Interp);
+        let (compiled_ns, compiled_ok) = run_pass(d, &cases, SimBackend::Compiled);
+        if !interp_ok {
+            return Err(format!("{}: interpreter baseline diverged", d.name).into());
+        }
+
+        let r = DesignResult {
+            name: d.name,
+            cases: cases.len(),
+            cycles,
+            interp_ns,
+            compiled_ns,
+            compile_warm_ns,
+            compiled_ok,
+        };
+        println!(
+            "  {:<10} interp {:>9.1} cases/s   compiled {:>10.1} cases/s   {:>7.2}x{}",
+            r.name,
+            r.interp_rate(),
+            r.compiled_rate(),
+            r.speedup(),
+            if r.compiled_ok { "" } else { "  [DIVERGED]" }
+        );
+        results.push(r);
+    }
+
+    let all_compiled_ok = results.iter().all(|r| r.compiled_ok);
+    let arith_all_faster = results
+        .iter()
+        .filter(|r| ARITH_DESIGNS.contains(&r.name))
+        .all(|r| r.compiled_ns < r.interp_ns);
+    let ge_10x = results.iter().filter(|r| r.speedup() >= 10.0).count();
+    println!(
+        "\n  all compiled green: {all_compiled_ok}; arithmetic designs all faster: \
+         {arith_all_faster}; designs at >=10x: {ge_10x}/{}",
+        results.len()
+    );
+
+    let designs_json: Vec<JsonValue> = results
+        .iter()
+        .map(|r| {
+            JsonValue::obj()
+                .set("design", JsonValue::str(r.name))
+                .set("cases", JsonValue::int(r.cases as u64))
+                .set("cycles", JsonValue::int(r.cycles))
+                .set("interp_ns", JsonValue::int(r.interp_ns))
+                .set("compiled_ns", JsonValue::int(r.compiled_ns))
+                .set("compile_warm_ns", JsonValue::int(r.compile_warm_ns))
+                .set("interp_cases_per_sec", JsonValue::Num(r.interp_rate()))
+                .set("compiled_cases_per_sec", JsonValue::Num(r.compiled_rate()))
+                .set("speedup", JsonValue::Num(r.speedup()))
+                .set("compiled_ok", JsonValue::Bool(r.compiled_ok))
+        })
+        .collect();
+    let json = JsonValue::obj()
+        .set("smoke", JsonValue::Bool(smoke))
+        .set("cases_per_design", JsonValue::int(n_cases as u64))
+        .set("max_width", JsonValue::int(max_width))
+        .set("designs", JsonValue::Arr(designs_json))
+        .set("all_compiled_ok", JsonValue::Bool(all_compiled_ok))
+        .set("arith_all_faster", JsonValue::Bool(arith_all_faster))
+        .set("designs_ge_10x", JsonValue::int(ge_10x as u64));
+
+    let out_path = std::env::var("CHICALA_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_cosim.json".to_string());
+    std::fs::write(&out_path, json.pretty())?;
+    println!("wrote {out_path} (wall time {:.1?})", started.elapsed());
+
+    if !all_compiled_ok {
+        return Err("compiled backend diverged from the interpreters".into());
+    }
+    Ok(())
+}

@@ -8,6 +8,7 @@
 //!     [--seed N | 0xHEX]     # master seed (default: CHICALA_SEED or fixed)
 //!     [--cases M]            # cases per design per layer (default 200)
 //!     [--max-width W]        # width ceiling (default 32)
+//!     [--backend B]          # interp | compiled | both (default: CHICALA_SIM_BACKEND or compiled)
 //!     [--keep-going]         # report every divergence, not just the first
 //!     [--replay 0xHEX]       # re-check one case seed (needs --design)
 //!     [--list]               # print the registry and exit
@@ -15,7 +16,7 @@
 //! ```
 
 use chicala::conformance::{
-    self, all_designs, Config, Design, Layer,
+    self, all_designs, Config, Design, Layer, SimBackend,
 };
 use chicala::telemetry::JsonValue;
 use std::process::ExitCode;
@@ -60,6 +61,7 @@ fn json_report(report: &conformance::Report, cfg: &Config) -> JsonValue {
         .collect();
     JsonValue::obj()
         .set("seed", JsonValue::str(format!("0x{:016X}", cfg.seed)))
+        .set("backend", JsonValue::str(cfg.backend.name()))
         .set("cases_per_layer", JsonValue::int(cfg.cases as u64))
         .set("max_width", JsonValue::int(cfg.max_width))
         .set("stats", JsonValue::Arr(stats))
@@ -102,6 +104,11 @@ fn main() -> ExitCode {
             "--seed" => cfg.seed = parse_u64(&value("--seed"), "--seed"),
             "--cases" => cfg.cases = parse_u64(&value("--cases"), "--cases") as usize,
             "--max-width" => cfg.max_width = parse_u64(&value("--max-width"), "--max-width"),
+            "--backend" => {
+                let b = value("--backend");
+                cfg.backend = SimBackend::parse(&b)
+                    .unwrap_or_else(|| fail(&format!("unknown backend {b:?}")));
+            }
             "--layers" => {
                 cfg.layers = value("--layers")
                     .split(',')
@@ -130,8 +137,8 @@ fn main() -> ExitCode {
                 println!("conformance soak runner; see the doc comment of examples/conformance.rs");
                 println!(
                     "usage: conformance [--design NAME]... [--layers L,..] [--seed N] \
-                     [--cases M] [--max-width W] [--keep-going] [--replay 0xHEX] [--list] \
-                     [--json]"
+                     [--cases M] [--max-width W] [--backend interp|compiled|both] \
+                     [--keep-going] [--replay 0xHEX] [--list] [--json]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -176,11 +183,12 @@ fn main() -> ExitCode {
 
     if !json {
         println!(
-            "conformance soak: {} design(s), layers [{}], {} cases each, widths up to {}, master seed 0x{:016X}",
+            "conformance soak: {} design(s), layers [{}], {} cases each, widths up to {}, backend {}, master seed 0x{:016X}",
             selected.len(),
             cfg.layers.iter().map(|l| l.name()).collect::<Vec<_>>().join(", "),
             cfg.cases,
             cfg.max_width,
+            cfg.backend.name(),
             cfg.seed
         );
     }

@@ -42,6 +42,7 @@ fn report_is_identical_at_1_2_and_8_workers() {
         max_width: 12,
         layers: Layer::ALL.to_vec(),
         stop_at_first: true,
+        ..Config::default()
     };
     let mut digests = Vec::new();
     for workers in ["1", "2", "8"] {
