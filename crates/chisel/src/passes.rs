@@ -1,0 +1,338 @@
+//! Module-level IR passes and structural metrics.
+//!
+//! [`flatten_whens`] lowers every `when`/`otherwise` block of a module to
+//! explicit `Mux` connects — the same per-signal fold elaboration performs,
+//! hoisted to the symbolic IR so the result is an ordinary [`Module`] with a
+//! straight-line body. The pass is the fuzzer's cross-check target: a
+//! flattened module must stay observationally equal to the original on
+//! every layer (interpreter, compiled VM, gate-level self-miter), so any
+//! divergence pins a bug in either the pass or a downstream engine.
+//!
+//! The metrics ([`node_count`], [`when_depth`], [`width_rank`]) define the
+//! lexicographic measure the shrinker must strictly decrease on every
+//! accepted step, which is what makes shrinking terminate.
+
+use crate::expr::Expr;
+use crate::module::{Module, SignalKind};
+use crate::stmt::{LValue, Stmt};
+use crate::types::ChiselType;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why [`flatten_whens`] refused a module. The pass handles the scalar
+/// connect subset (the one the design fuzzer emits); aggregate targets and
+/// generator loops would need alias analysis to fold soundly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PassError {
+    /// The body contains a generator `for` loop (fold order across unrolled
+    /// iterations is not known before elaboration).
+    ForLoop,
+    /// A connect drives a bundle field or vector element.
+    AggregateTarget(String),
+    /// A connect drives a signal the module never declares.
+    UndeclaredTarget(String),
+    /// A connect drives an input or a node (also rejected by `check_module`).
+    BadTargetKind(String),
+    /// A driven wire or output has an aggregate type (no scalar default).
+    AggregateDefault(String),
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::ForLoop => write!(f, "flatten_whens: `for` loops unsupported"),
+            PassError::AggregateTarget(n) => {
+                write!(f, "flatten_whens: aggregate connect target `{n}`")
+            }
+            PassError::UndeclaredTarget(n) => {
+                write!(f, "flatten_whens: undeclared connect target `{n}`")
+            }
+            PassError::BadTargetKind(n) => {
+                write!(f, "flatten_whens: connect drives non-connectable `{n}`")
+            }
+            PassError::AggregateDefault(n) => {
+                write!(f, "flatten_whens: driven signal `{n}` has aggregate type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// Lowers every `when` block to explicit `Mux` connects, yielding a module
+/// whose body is one unconditional connect per driven signal.
+///
+/// The fold replicates elaboration's last-connect-wins resolution
+/// symbolically: registers start from themselves (a missing connect keeps
+/// the value), wires and outputs start from a zero literal of their
+/// declared width, and a connect under guards `c1, …, ck` becomes
+/// `Mux(c1 && … && ck, rhs, previous)`.
+///
+/// # Errors
+///
+/// Returns a [`PassError`] for constructs outside the scalar connect
+/// subset; see the enum's variants.
+pub fn flatten_whens(m: &Module) -> Result<Module, PassError> {
+    flatten_whens_impl(m, false)
+}
+
+/// The deliberately broken variant behind the fuzzer's injected-bug drill:
+/// identical to [`flatten_whens`] except that a connect nested under
+/// several `when` guards keeps only the *innermost* guard — outer
+/// conjuncts are dropped, so the connect fires even when an enclosing
+/// `when` is false. The fuzzer must detect this divergence and shrink it
+/// to a minimal nested-`when` reproducer.
+#[doc(hidden)]
+pub fn flatten_whens_dropping_guards(m: &Module) -> Result<Module, PassError> {
+    flatten_whens_impl(m, true)
+}
+
+fn conj(conds: &[Expr], drop_outer_guards: bool) -> Option<Expr> {
+    if drop_outer_guards {
+        return conds.last().cloned();
+    }
+    conds.iter().cloned().reduce(|a, b| a.and(b))
+}
+
+/// The elaboration default a signal resolves to when no connect fires.
+fn default_driver(name: &str, ty: &ChiselType, kind: &SignalKind) -> Result<Expr, PassError> {
+    if matches!(kind, SignalKind::Reg { .. }) {
+        // A register with no firing connect keeps its value.
+        return Ok(Expr::sig(name));
+    }
+    match ty {
+        ChiselType::Bool => Ok(Expr::lit_b(false)),
+        ChiselType::UInt(w) => Ok(Expr::lit_u(0, w.clone())),
+        ChiselType::SInt(w) => Ok(Expr::lit_s(0, w.clone())),
+        _ => Err(PassError::AggregateDefault(name.to_string())),
+    }
+}
+
+fn fold_body(
+    m: &Module,
+    body: &[Stmt],
+    conds: &mut Vec<Expr>,
+    drivers: &mut BTreeMap<String, Expr>,
+    drop_outer_guards: bool,
+) -> Result<(), PassError> {
+    for s in body {
+        match s {
+            Stmt::For { .. } => return Err(PassError::ForLoop),
+            Stmt::Connect { lhs, rhs } => {
+                if !lhs.path.is_empty() {
+                    return Err(PassError::AggregateTarget(lhs.base.clone()));
+                }
+                let decl = m
+                    .decl(&lhs.base)
+                    .ok_or_else(|| PassError::UndeclaredTarget(lhs.base.clone()))?;
+                if matches!(decl.kind, SignalKind::Input | SignalKind::Node(_)) {
+                    return Err(PassError::BadTargetKind(lhs.base.clone()));
+                }
+                let prev = match drivers.get(&lhs.base) {
+                    Some(e) => e.clone(),
+                    None => default_driver(&decl.name, &decl.ty, &decl.kind)?,
+                };
+                let folded = match conj(conds, drop_outer_guards) {
+                    Some(guard) => guard.mux(rhs.clone(), prev),
+                    None => rhs.clone(),
+                };
+                drivers.insert(lhs.base.clone(), folded);
+            }
+            Stmt::When { cond, then_body, else_body } => {
+                conds.push(cond.clone());
+                fold_body(m, then_body, conds, drivers, drop_outer_guards)?;
+                conds.pop();
+                conds.push(cond.clone().not());
+                fold_body(m, else_body, conds, drivers, drop_outer_guards)?;
+                conds.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn flatten_whens_impl(m: &Module, drop_outer_guards: bool) -> Result<Module, PassError> {
+    let mut drivers = BTreeMap::new();
+    fold_body(m, &m.body, &mut Vec::new(), &mut drivers, drop_outer_guards)?;
+    // Emit in declaration order so the output is deterministic and reads
+    // like a port list.
+    let body = m
+        .decls
+        .iter()
+        .filter_map(|d| {
+            drivers.remove(&d.name).map(|rhs| Stmt::Connect { lhs: LValue::new(&d.name), rhs })
+        })
+        .collect();
+    Ok(Module {
+        name: format!("{}_flat", m.name),
+        params: m.params.clone(),
+        decls: m.decls.clone(),
+        funcs: m.funcs.clone(),
+        body,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Structural metrics (the shrinker's termination measure).
+// ---------------------------------------------------------------------
+
+fn expr_nodes(e: &Expr) -> u64 {
+    1 + match e {
+        Expr::LitU { .. } | Expr::LitS { .. } | Expr::LitB(_) | Expr::Ref(_) => 0,
+        Expr::Unop(_, a) => expr_nodes(a),
+        Expr::Binop(_, a, b) => expr_nodes(a) + expr_nodes(b),
+        Expr::Mux(c, t, f) => expr_nodes(c) + expr_nodes(t) + expr_nodes(f),
+        Expr::Extract { arg, .. }
+        | Expr::ShlP { arg, .. }
+        | Expr::ShrP { arg, .. }
+        | Expr::Fill { arg, .. } => expr_nodes(arg),
+        Expr::BitAt { arg, index } => expr_nodes(arg) + expr_nodes(index),
+        Expr::Call { args, .. } => args.iter().map(expr_nodes).sum(),
+    }
+}
+
+fn stmt_nodes(s: &Stmt) -> u64 {
+    match s {
+        Stmt::Connect { rhs, .. } => 1 + expr_nodes(rhs),
+        Stmt::When { cond, then_body, else_body } => {
+            1 + expr_nodes(cond)
+                + then_body.iter().map(stmt_nodes).sum::<u64>()
+                + else_body.iter().map(stmt_nodes).sum::<u64>()
+        }
+        Stmt::For { body, .. } => 1 + body.iter().map(stmt_nodes).sum::<u64>(),
+    }
+}
+
+/// Total IR size: declarations plus statement and expression nodes (loop
+/// bodies counted once, not per unrolled iteration).
+pub fn node_count(m: &Module) -> u64 {
+    m.decls.len() as u64 + m.body.iter().map(stmt_nodes).sum::<u64>()
+}
+
+fn stmt_depth(s: &Stmt) -> u64 {
+    match s {
+        Stmt::Connect { .. } => 0,
+        Stmt::When { then_body, else_body, .. } => {
+            1 + then_body
+                .iter()
+                .chain(else_body)
+                .map(stmt_depth)
+                .max()
+                .unwrap_or(0)
+        }
+        Stmt::For { body, .. } => body.iter().map(stmt_depth).max().unwrap_or(0),
+    }
+}
+
+/// Maximum `when` nesting depth of the module body.
+pub fn when_depth(m: &Module) -> u64 {
+    m.body.iter().map(stmt_depth).max().unwrap_or(0)
+}
+
+/// A total order on declared widths for the shrinker's width component:
+/// the width evaluated at a fixed witness parameter value (`len = 8`),
+/// summed over all declarations. Strictly narrowing any declaration
+/// strictly reduces the sum.
+pub fn width_rank(m: &Module) -> u64 {
+    let bind: crate::pexpr::Bindings = [("len".to_string(), 8i64)].into_iter().collect();
+    m.decls
+        .iter()
+        .map(|d| match &d.ty {
+            ChiselType::Bool => 1,
+            ty => ty
+                .width()
+                .and_then(|w| w.eval(&bind).ok())
+                .map(|v| v.max(1) as u64)
+                .unwrap_or(1),
+        })
+        .sum()
+}
+
+/// The shrinker's lexicographic termination measure:
+/// `(node_count, width_rank, when_depth)`.
+pub fn measure(m: &Module) -> (u64, u64, u64) {
+    (node_count(m), width_rank(m), when_depth(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::elab::elaborate;
+    use crate::examples::rotate_example;
+    use crate::interp::Simulator;
+    use chicala_bigint::BigInt;
+    use std::collections::BTreeMap;
+
+    fn step_all(m: &Module, len: i64, inputs: &[(&str, u64)], cycles: u32) -> BTreeMap<String, BigInt> {
+        let bind = [("len".to_string(), len)].into_iter().collect();
+        let em = elaborate(m, &bind).expect("elaborates");
+        let mut sim = Simulator::new(&em, &BTreeMap::new()).expect("constructs");
+        let ins: BTreeMap<String, BigInt> =
+            inputs.iter().map(|(n, v)| (n.to_string(), BigInt::from(*v))).collect();
+        let mut outs = BTreeMap::new();
+        for _ in 0..cycles {
+            outs = sim.step(&ins).expect("steps");
+        }
+        for (r, v) in sim.regs() {
+            outs.insert(format!("reg:{r}"), v.clone());
+        }
+        outs
+    }
+
+    #[test]
+    fn flatten_preserves_rotate_observably() {
+        let m = rotate_example();
+        let flat = flatten_whens(&m).expect("rotate is in the scalar subset");
+        assert_eq!(when_depth(&flat), 0, "no whens survive");
+        for len in [2i64, 3, 5, 8] {
+            for x in [0u64, 1, 9, 0b1011] {
+                for cycles in [1u32, 2, 5] {
+                    let a = step_all(&m, len, &[("io_in", x)], cycles);
+                    let b = step_all(&flat, len, &[("io_in", x)], cycles);
+                    assert_eq!(a, b, "len={len} x={x} cycles={cycles}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_guards_changes_nested_when_behaviour() {
+        // y := 1 only when a && b; the buggy fold keeps only `b`.
+        let mut mb = ModuleBuilder::new("Nest", &["len"]);
+        let len = mb.param("len");
+        let a = mb.input("a", ChiselType::Bool);
+        let b = mb.input("b", ChiselType::Bool);
+        let y = mb.output("y", ChiselType::uint(len.clone()));
+        let (bc, yc, lc) = (b.clone(), y.clone(), len.clone());
+        mb.when(a.e(), move |s| {
+            s.when(bc.e(), move |s| s.connect(yc.lv(), Expr::lit_u(1, lc.clone())));
+        });
+        let m = mb.build();
+        let good = flatten_whens(&m).expect("subset");
+        let bad = flatten_whens_dropping_guards(&m).expect("subset");
+        // a=0, b=1: correct fold keeps the default 0; buggy fold drives 1.
+        let ins = [("a", 0u64), ("b", 1u64)];
+        assert_eq!(step_all(&m, 4, &ins, 1), step_all(&good, 4, &ins, 1));
+        assert_ne!(step_all(&m, 4, &ins, 1), step_all(&bad, 4, &ins, 1));
+    }
+
+    #[test]
+    fn for_loops_and_aggregates_rejected() {
+        let mut mb = ModuleBuilder::new("Loopy", &["n"]);
+        let n = mb.param("n");
+        let v = mb.wire("v", ChiselType::vec(ChiselType::Bool, n.clone()));
+        mb.for_each("i", 0, n, |s, i| s.connect(v.lv_at(i), Expr::lit_b(false)));
+        assert_eq!(flatten_whens(&mb.build()), Err(PassError::ForLoop));
+    }
+
+    #[test]
+    fn metrics_are_sane() {
+        let m = rotate_example();
+        assert!(node_count(&m) > 10);
+        assert!(when_depth(&m) >= 2, "rotate nests whens");
+        assert!(width_rank(&m) > 0);
+        let flat = flatten_whens(&m).expect("subset");
+        assert_eq!(width_rank(&m), width_rank(&flat), "decls unchanged");
+    }
+}

@@ -583,22 +583,41 @@ fn hw_eq_raw(hw: Option<u128>, hw_big: impl FnOnce() -> BigInt, raw: i128) -> bo
     }
 }
 
+/// Records one per-case interpreter fallback *after* the fallback ran, so
+/// the counters are honest: `kind` distinguishes why the compiled path was
+/// abandoned (`compile` = the plan had no VM for this (design, width);
+/// `run` = the sequential VM bailed out mid-case), and a fallback that
+/// itself fails is counted under a separate `_err` name rather than being
+/// claimed as a successfully recovered case.
+fn count_case_fallback<T>(kind: &str, outcome: &Result<T, String>) {
+    let name = match (kind, outcome.is_ok()) {
+        ("compile", true) => "conformance.sim.case_compile_fallback",
+        ("compile", false) => "conformance.sim.case_compile_fallback_err",
+        ("run", true) => "conformance.sim.case_run_fallback",
+        ("run", false) => "conformance.sim.case_run_fallback_err",
+        _ => unreachable!("fallback kind is compile|run"),
+    };
+    telemetry::counter(name, 1);
+}
+
 /// The compiled pairing: [`CompiledSim`] vs [`SeqVm`], falling back to the
 /// interpreters when either side of the (design, width) failed to compile
 /// or the sequential VM bails out at runtime (`i128` overflow).
 fn check_cosim_compiled(d: &Design, case: &Case) -> Result<u64, String> {
     let plan = sim_plan(d, case.width)?;
     let (Some(chisel), Some(seq)) = (&plan.chisel, &plan.seq) else {
-        telemetry::counter("conformance.sim.case_fallback", 1);
-        return check_cosim_interp(d, case);
+        let r = check_cosim_interp(d, case);
+        count_case_fallback("compile", &r);
+        return r;
     };
     match run_cosim_vms(d, case, chisel, seq) {
         Ok(verdict) => verdict,
         // The sequential VM left its i128 envelope: the case is legal but
         // outside the compiled subset — re-check it on the interpreters.
         Err(_bail) => {
-            telemetry::counter("conformance.sim.case_fallback", 1);
-            check_cosim_interp(d, case)
+            let r = check_cosim_interp(d, case);
+            count_case_fallback("run", &r);
+            r
         }
     }
 }
@@ -992,9 +1011,12 @@ fn check_spec(d: &Design, case: &Case, backend: SimBackend) -> Result<u64, Strin
         SimBackend::Interp => final_state(d, case)?,
         SimBackend::Compiled => match final_state_compiled(d, case)? {
             Some(fin) => fin,
+            // The compiled VM is unavailable at this (design, width) — a
+            // compile-driven fallback, counted after the interpreter ran.
             None => {
-                telemetry::counter("conformance.sim.case_fallback", 1);
-                final_state(d, case)?
+                let r = final_state(d, case);
+                count_case_fallback("compile", &r);
+                r?
             }
         },
         SimBackend::Both => {

@@ -149,6 +149,25 @@ fn xdiv_spec(w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result
     expect_eq("xdiv rem (shiftReg high half)", &s.div_floor(&half), &n.mod_floor(d))
 }
 
+fn output<'a>(fin: &'a FinalState, name: &str) -> Result<&'a BigInt, String> {
+    fin.outputs.get(name).ok_or_else(|| format!("final state has no output `{name}`"))
+}
+
+fn csel_spec(_w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
+    let want = input(ins, "io_a") + input(ins, "io_b");
+    expect_eq("csel io_sum", output(fin, "io_sum")?, &want)
+}
+
+fn ks_spec(_w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
+    let want = input(ins, "io_a") + input(ins, "io_b");
+    expect_eq("ks io_sum", output(fin, "io_sum")?, &want)
+}
+
+fn csa3_spec(_w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
+    let want = input(ins, "io_a") + input(ins, "io_b") + input(ins, "io_c") + input(ins, "io_d");
+    expect_eq("csa3 io_sum", output(fin, "io_sum")?, &want)
+}
+
 // ---------------------------------------------------------------------
 // Gate-level golden models.
 //
@@ -339,6 +358,107 @@ fn xdiv_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
     nets_equal(nl, reg_word(env, "shiftReg"), &sreg)
 }
 
+fn out_word<'a>(env: &'a GateEnv, name: &str) -> &'a Word<Net> {
+    env.state.outputs.get(name).unwrap_or_else(|| panic!("gate spec: no output word `{name}`"))
+}
+
+/// `csel`: the low half's `lo + 1`-bit add, both speculative high sums,
+/// and the carry-selected concatenation.
+fn csel_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
+    let w = env.width as usize;
+    let lo = w / 2;
+    let hi = w - lo;
+    let a = in_word(env, "io_a").clone();
+    let b = in_word(env, "io_b").clone();
+    let a_lo = Word { bits: a.bits[..lo].to_vec(), signed: false };
+    let b_lo = Word { bits: b.bits[..lo].to_vec(), signed: false };
+    let low = add_words(nl, &a_lo, &b_lo, lo + 1);
+    let a_hi = Word { bits: a.bits[lo..].to_vec(), signed: false };
+    let b_hi = Word { bits: b.bits[lo..].to_vec(), signed: false };
+    let high0 = add_words(nl, &a_hi, &b_hi, hi + 1);
+    let one = constant_word(nl, &BigInt::one(), hi + 1, false);
+    let high1 = add_words(nl, &high0, &one, hi + 1);
+    // Base connect then `when` override: mux(carry, high1, high0).
+    let sel = mux_word(nl, low.bits[lo], &high1, &high0);
+    let mut bits: Vec<Net> = low.bits[..lo].to_vec();
+    bits.extend(sel.bits.iter().copied());
+    let golden = Word { bits, signed: false };
+    nets_equal(nl, out_word(env, "io_sum"), &golden)
+}
+
+/// `ks`: the same six span-doubling generate/propagate levels, bitwise.
+fn ks_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
+    let w = env.width as usize;
+    let a = in_word(env, "io_a").clone();
+    let b = in_word(env, "io_b").clone();
+    let p0: Vec<Net> = (0..w).map(|i| nl.xor(a.bits[i], b.bits[i])).collect();
+    let g0: Vec<Net> = (0..w).map(|i| nl.and(a.bits[i], b.bits[i])).collect();
+    let mut g = g0;
+    let mut p = p0.clone();
+    for s in [1usize, 2, 4, 8, 16, 32] {
+        let zero = nl.constant(false);
+        let mut gn = Vec::with_capacity(w);
+        let mut pn = Vec::with_capacity(w);
+        for i in 0..w {
+            let (gs, ps) = if i >= s { (g[i - s], p[i - s]) } else { (zero, zero) };
+            let t = nl.and(p[i], gs);
+            gn.push(nl.or(g[i], t));
+            pn.push(nl.and(p[i], ps));
+        }
+        g = gn;
+        p = pn;
+    }
+    let zero = nl.constant(false);
+    let mut bits = Vec::with_capacity(w + 1);
+    for i in 0..w {
+        let cin = if i >= 1 { g[i - 1] } else { zero };
+        bits.push(nl.xor(p0[i], cin));
+    }
+    bits.push(g[w - 1]);
+    let golden = Word { bits, signed: false };
+    nets_equal(nl, out_word(env, "io_sum"), &golden)
+}
+
+/// `csa3`: two bitwise 3:2 layers, then the final carry-propagate add.
+fn csa3_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
+    let w = env.width as usize;
+    let a = in_word(env, "io_a").clone();
+    let b = in_word(env, "io_b").clone();
+    let c = in_word(env, "io_c").clone();
+    let d = in_word(env, "io_d").clone();
+    let zero = nl.constant(false);
+    // Layer 1: s1 (width w), c1 = maj << 1 (width w + 1).
+    let mut s1 = Vec::with_capacity(w);
+    let mut c1 = vec![zero];
+    for i in 0..w {
+        let ab = nl.xor(a.bits[i], b.bits[i]);
+        s1.push(nl.xor(ab, c.bits[i]));
+        let t1 = nl.and(a.bits[i], b.bits[i]);
+        let t2 = nl.and(a.bits[i], c.bits[i]);
+        let t3 = nl.and(b.bits[i], c.bits[i]);
+        let m = nl.or(t1, t2);
+        c1.push(nl.or(m, t3));
+    }
+    // Layer 2 over zero-extended operands: s2 (w + 1), c2 = maj << 1 (w + 2).
+    let mut s2 = Vec::with_capacity(w + 1);
+    let mut c2 = vec![zero];
+    for i in 0..=w {
+        let s1i = if i < w { s1[i] } else { zero };
+        let di = if i < w { d.bits[i] } else { zero };
+        let sx = nl.xor(s1i, c1[i]);
+        s2.push(nl.xor(sx, di));
+        let t1 = nl.and(s1i, c1[i]);
+        let t2 = nl.and(s1i, di);
+        let t3 = nl.and(c1[i], di);
+        let m = nl.or(t1, t2);
+        c2.push(nl.or(m, t3));
+    }
+    let s2w = Word { bits: s2, signed: false };
+    let c2w = Word { bits: c2, signed: false };
+    let golden = add_words(nl, &s2w, &c2w, w + 2);
+    nets_equal(nl, out_word(env, "io_sum"), &golden)
+}
+
 /// All registered designs. The single enrollment point: every conformance
 /// surface (library runs, `tests/conformance.rs`, the CLI soak) iterates
 /// this list.
@@ -418,6 +538,48 @@ pub fn all_designs() -> Vec<Design> {
             latency: |w| w + 1,
             spec: xdiv_spec,
             gate_spec: Some(xdiv_gate),
+        },
+        Design {
+            name: "csel",
+            build: chicala_designs::csel::module,
+            inputs: &[
+                InputSpec { name: "io_a", nonzero: false },
+                InputSpec { name: "io_b", nonzero: false },
+            ],
+            // Both halves of the split `len / 2` must be non-empty.
+            min_width: 2,
+            gate_max_width: 24,
+            latency: |_| 1,
+            spec: csel_spec,
+            gate_spec: Some(csel_gate),
+        },
+        Design {
+            name: "ks",
+            build: chicala_designs::ks::module,
+            inputs: &[
+                InputSpec { name: "io_a", nonzero: false },
+                InputSpec { name: "io_b", nonzero: false },
+            ],
+            min_width: 1,
+            gate_max_width: 24,
+            latency: |_| 1,
+            spec: ks_spec,
+            gate_spec: Some(ks_gate),
+        },
+        Design {
+            name: "csa3",
+            build: chicala_designs::csa3::module,
+            inputs: &[
+                InputSpec { name: "io_a", nonzero: false },
+                InputSpec { name: "io_b", nonzero: false },
+                InputSpec { name: "io_c", nonzero: false },
+                InputSpec { name: "io_d", nonzero: false },
+            ],
+            min_width: 1,
+            gate_max_width: 24,
+            latency: |_| 1,
+            spec: csa3_spec,
+            gate_spec: Some(csa3_gate),
         },
     ]
 }

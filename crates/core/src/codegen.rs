@@ -429,7 +429,18 @@ impl<'m> Translator<'m> {
     /// Translates a connect into an assignment (possibly a nested list
     /// update), clamping the value to the target's width when the widths are
     /// not syntactically equal.
-    pub fn tr_assign(&mut self, lhs: &LValue, rhs: &Expr) -> Result<SStmt, CodegenError> {
+    /// Translates one connect. When the (flattened) target is listed in
+    /// `reg_names` the assignment is retargeted to the register's
+    /// next-state copy, and for indexed targets the update chain *reads*
+    /// the accumulated next-state receiver — but reads of the register
+    /// inside the user's right-hand side always denote the pre-cycle
+    /// value, exactly as in the reference interpreter.
+    pub fn tr_assign(
+        &mut self,
+        lhs: &LValue,
+        rhs: &Expr,
+        reg_names: &[String],
+    ) -> Result<SStmt, CodegenError> {
         // Resolve the target type along the full path.
         let mut rref = SignalRef::new(lhs.base.clone());
         for acc in &lhs.path {
@@ -461,12 +472,14 @@ impl<'m> Translator<'m> {
         let rv = self.tr(rhs)?;
         let value = self.coerce_connect(rv, &target_ty, !indices.is_empty())?;
         let name = Self::flat_name(&lhs.base, &fields);
+        let target =
+            if reg_names.contains(&name) { chicala_seq::next_name(&name) } else { name };
         if indices.is_empty() {
-            return Ok(SStmt::Assign { name, rhs: value });
+            return Ok(SStmt::Assign { name: target, rhs: value });
         }
         // v(i)(j) := e  ⟶  v := v.updated(i, v(i).updated(j, e))
-        let rhs = build_list_update(SExpr::var(name.clone()), &indices, value);
-        Ok(SStmt::Assign { name, rhs })
+        let rhs = build_list_update(SExpr::var(target.clone()), &indices, value);
+        Ok(SStmt::Assign { name: target, rhs })
     }
 
     /// Coerces a translated value to the connect target's representation.
@@ -720,7 +733,7 @@ mod tests {
             Box::new(Expr::sig("cnt")),
             Box::new(Expr::lit_u(1, len)),
         );
-        let s = tr.tr_assign(&LValue::new("cnt"), &rhs).expect("translates");
+        let s = tr.tr_assign(&LValue::new("cnt"), &rhs, &[]).expect("translates");
         match s {
             SStmt::Assign { name, rhs } => {
                 assert_eq!(name, "cnt");

@@ -278,18 +278,12 @@ fn translate_merged(
     for n in nodes {
         match n {
             Merged::Assign { lhs, rhs } => {
-                let mut stmt = tr.tr_assign(lhs, rhs)?;
-                if let SStmt::Assign { name, rhs } = &mut stmt {
-                    if reg_names.contains(name) {
-                        // Retarget to the next-state copy; list updates must
-                        // also *read* the accumulated next-state value.
-                        let next = next_name(name);
-                        let new_rhs = rename_var(rhs, name, &next);
-                        *rhs = new_rhs;
-                        *name = next;
-                    }
-                }
-                out.push(stmt);
+                // Register targets are retargeted to their next-state copy
+                // inside `tr_assign`; reads of the register in the RHS keep
+                // denoting the pre-cycle value (a blanket rename here would
+                // make `r := f(...); r := g(r)` read the *pending* value,
+                // diverging from the interpreter).
+                out.push(tr.tr_assign(lhs, rhs, reg_names)?);
             }
             Merged::If { cond, then_b, else_b } => {
                 let c = tr.tr(cond)?.as_bool()?;
@@ -311,38 +305,6 @@ fn translate_merged(
         }
     }
     Ok(out)
-}
-
-/// Renames free occurrences of variable `from` to `to` in an expression.
-fn rename_var(e: &SExpr, from: &str, to: &str) -> SExpr {
-    use SExpr::*;
-    let r = |x: &SExpr| Box::new(rename_var(x, from, to));
-    match e {
-        Const(_) | BoolConst(_) => e.clone(),
-        Var(n) => {
-            if n == from {
-                Var(to.to_string())
-            } else {
-                e.clone()
-            }
-        }
-        Binop(op, a, b) => Binop(*op, r(a), r(b)),
-        Pow2(a) => Pow2(r(a)),
-        Cmp(op, a, b) => Cmp(*op, r(a), r(b)),
-        And(a, b) => And(r(a), r(b)),
-        Or(a, b) => Or(r(a), r(b)),
-        Not(a) => Not(r(a)),
-        Ite(c, t, f) => Ite(r(c), r(t), r(f)),
-        ListLit(es) => ListLit(es.iter().map(|x| rename_var(x, from, to)).collect()),
-        ListGet(l, i) => ListGet(r(l), r(i)),
-        ListSet(l, i, v) => ListSet(r(l), r(i), r(v)),
-        ListLen(l) => ListLen(r(l)),
-        ListFill(n, v) => ListFill(r(n), r(v)),
-        ListAppend(l, v) => ListAppend(r(l), r(v)),
-        Sum(l) => Sum(r(l)),
-        ToZ(l) => ToZ(r(l)),
-        Call(f, args) => Call(f.clone(), args.iter().map(|x| rename_var(x, from, to)).collect()),
-    }
 }
 
 fn translate_func(

@@ -1,0 +1,110 @@
+//! A two-layer 3:2 carry-save compressor tree summing four operands:
+//! `io_sum == io_a + io_b + io_c + io_d`, exact in `len + 2` bits. Each
+//! 3:2 layer turns three addends into a bitwise sum word and a shifted
+//! majority (carry) word without any carry propagation; one final
+//! carry-propagate add resolves the redundant pair.
+
+use chicala_chisel::{BinaryOp, ChiselType, Expr, Module, ModuleBuilder};
+
+fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Binop(BinaryOp::Add, Box::new(a), Box::new(b))
+}
+
+/// Bitwise majority of three words (the 3:2 compressor's carry bit).
+fn maj(a: Expr, b: Expr, c: Expr) -> Expr {
+    a.clone()
+        .bit_and(b.clone())
+        .bit_or(a.bit_and(c.clone()))
+        .bit_or(b.bit_and(c))
+}
+
+/// Builds the compressor tree: layer 1 compresses `(a, b, c)`, layer 2
+/// compresses `(s1, c1, d)`, and the output is the carry-propagate sum of
+/// the final redundant pair.
+pub fn module() -> Module {
+    let mut m = ModuleBuilder::new("Csa32Tree", &["len"]);
+    let len = m.param("len");
+    let a = m.input("io_a", ChiselType::uint(len.clone()));
+    let b = m.input("io_b", ChiselType::uint(len.clone()));
+    let c = m.input("io_c", ChiselType::uint(len.clone()));
+    let d = m.input("io_d", ChiselType::uint(len.clone()));
+    let sum = m.output("io_sum", ChiselType::uint(len.clone() + 2));
+
+    // Layer 1: a + b + c == s1 + c1.
+    let s1 = m.node(
+        "s1",
+        ChiselType::uint(len.clone()),
+        a.e().bit_xor(b.e()).bit_xor(c.e()),
+    );
+    let c1 = m.node(
+        "c1",
+        ChiselType::uint(len.clone() + 1),
+        maj(a.e(), b.e(), c.e()).shl(1u64),
+    );
+
+    // Layer 2: s1 + c1 + d == s2 + c2 (bitwise ops zero-extend to the
+    // widest operand, so the mixed widths line up by construction).
+    let s2 = m.node(
+        "s2",
+        ChiselType::uint(len.clone() + 1),
+        s1.e().bit_xor(c1.e()).bit_xor(d.e()),
+    );
+    let c2 = m.node(
+        "c2",
+        ChiselType::uint(len.clone() + 2),
+        maj(s1.e(), c1.e(), d.e()).shl(1u64),
+    );
+
+    m.connect(sum.lv(), add(s2.e(), c2.e()));
+    m.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chicala_bigint::BigInt;
+    use chicala_chisel::{elaborate, Simulator};
+    use chicala_core::transform;
+    use std::collections::BTreeMap as Map;
+
+    fn run(len: i64, ops: [u64; 4]) -> BigInt {
+        let m = module();
+        let em = elaborate(&m, &[("len".to_string(), len)].into_iter().collect())
+            .expect("elaborates");
+        let mut sim = Simulator::new(&em, &Map::new()).expect("constructs");
+        let inputs: Map<String, BigInt> = ["io_a", "io_b", "io_c", "io_d"]
+            .iter()
+            .zip(ops)
+            .map(|(n, v)| (n.to_string(), BigInt::from(v)))
+            .collect();
+        sim.step(&inputs).expect("steps")["io_sum"].clone()
+    }
+
+    #[test]
+    fn sums_four_operands_exactly() {
+        for len in [1i64, 2, 3, 5, 8, 13] {
+            let mask = (1u64 << len) - 1;
+            for seed in 0..24u64 {
+                let r = |k: u64| seed.wrapping_mul(k) & mask;
+                let ops = [
+                    r(0x9E37_79B9_7F4A_7C15),
+                    r(0xD134_2543_DE82_EF95),
+                    r(0xA076_1D64_78BD_642F),
+                    r(0xE703_7ED1_A0B4_28DB),
+                ];
+                let want: u64 = ops.iter().sum();
+                assert_eq!(run(len, ops), BigInt::from(want), "len={len} ops={ops:?}");
+            }
+            assert_eq!(
+                run(len, [mask; 4]),
+                BigInt::from(4 * mask),
+                "all maxed at len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn transforms() {
+        transform(&module()).expect("inside the transformable subset");
+    }
+}

@@ -1,0 +1,107 @@
+//! A carry-select adder: the low half computes `lo`-bit sum and carry,
+//! the high half computes *both* possible sums (carry-in 0 and 1) in
+//! parallel, and a `when` selects the right one — the classic
+//! latency-for-area trade. The split point is the parameter expression
+//! `len / 2`, exercising `PExpr::Div` through every layer.
+
+use chicala_chisel::{BinaryOp, ChiselType, Expr, Module, ModuleBuilder};
+
+fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Binop(BinaryOp::Add, Box::new(a), Box::new(b))
+}
+
+/// Widens `e` (of width `w`) by one zero bit so an addition can keep its
+/// carry: extracts `e(w, 0)`, whose beyond-width bit reads 0.
+fn widen(e: Expr, w: chicala_chisel::PExpr) -> Expr {
+    e.bits(w, 0)
+}
+
+/// Builds the carry-select adder: `io_sum == io_a + io_b`, exact in
+/// `len + 1` bits, combinationally. Needs `len >= 2` so both halves are
+/// non-empty.
+pub fn module() -> Module {
+    let mut m = ModuleBuilder::new("CarrySelectAdder", &["len"]);
+    let len = m.param("len");
+    let lo_w = len.clone() / 2;
+    let hi_w = len.clone() - lo_w.clone();
+
+    let a = m.input("io_a", ChiselType::uint(len.clone()));
+    let b = m.input("io_b", ChiselType::uint(len.clone()));
+    let sum = m.output("io_sum", ChiselType::uint(len.clone() + 1));
+
+    // Low half: lo_w-bit operands added at width lo_w + 1, carry on top.
+    let low = m.node(
+        "low",
+        ChiselType::uint(lo_w.clone() + 1),
+        add(
+            widen(a.e().bits(lo_w.clone() - 1, 0), lo_w.clone()),
+            widen(b.e().bits(lo_w.clone() - 1, 0), lo_w.clone()),
+        ),
+    );
+
+    // High half, both ways: carry-in 0 and carry-in 1.
+    let a_hi = widen(a.e().bits(len.clone() - 1, lo_w.clone()), hi_w.clone());
+    let b_hi = widen(b.e().bits(len.clone() - 1, lo_w.clone()), hi_w.clone());
+    let high0 = m.node(
+        "high0",
+        ChiselType::uint(hi_w.clone() + 1),
+        add(a_hi, b_hi),
+    );
+    let high1 = m.node(
+        "high1",
+        ChiselType::uint(hi_w.clone() + 1),
+        add(high0.e(), Expr::lit_u(1, hi_w.clone() + 1)),
+    );
+
+    // Select on the low half's carry-out.
+    let sel = m.wire("sel", ChiselType::uint(hi_w + 1));
+    m.connect(sel.lv(), high0.e());
+    let carry = low.e().bits(lo_w.clone(), lo_w.clone()).eq(Expr::lit_u(1, 1));
+    let sel2 = sel.clone();
+    let high1_e = high1.e();
+    m.when(carry, move |w| w.connect(sel2.lv(), high1_e));
+
+    m.connect(sum.lv(), sel.e().cat(low.e().bits(lo_w - 1, 0)));
+    m.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chicala_bigint::BigInt;
+    use chicala_chisel::{elaborate, Simulator};
+    use chicala_core::transform;
+    use std::collections::BTreeMap as Map;
+
+    fn run(len: i64, a: u64, b: u64) -> BigInt {
+        let m = module();
+        let em = elaborate(&m, &[("len".to_string(), len)].into_iter().collect())
+            .expect("elaborates");
+        let mut sim = Simulator::new(&em, &Map::new()).expect("constructs");
+        let inputs: Map<String, BigInt> = [
+            ("io_a".to_string(), BigInt::from(a)),
+            ("io_b".to_string(), BigInt::from(b)),
+        ]
+        .into_iter()
+        .collect();
+        sim.step(&inputs).expect("steps")["io_sum"].clone()
+    }
+
+    #[test]
+    fn adds_exactly() {
+        for len in [2i64, 3, 5, 8, 13] {
+            let mask = (1u64 << len) - 1;
+            for seed in 0..24u64 {
+                let a = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask;
+                let b = seed.wrapping_mul(0xD134_2543_DE82_EF95) & mask;
+                assert_eq!(run(len, a, b), BigInt::from(a + b), "len={len} a={a} b={b}");
+            }
+            assert_eq!(run(len, mask, mask), BigInt::from(2 * mask), "both maxed");
+        }
+    }
+
+    #[test]
+    fn transforms() {
+        transform(&module()).expect("inside the transformable subset");
+    }
+}

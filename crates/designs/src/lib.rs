@@ -3,6 +3,9 @@
 //! multipliers), each with its Chisel-subset module, specification,
 //! invariants, and proof scripts.
 
+pub mod csa3;
+pub mod csel;
+pub mod ks;
 pub mod popcount;
 pub mod rdiv;
 pub mod xdiv;
@@ -35,5 +38,8 @@ pub fn verified_designs() -> Vec<VerifiedDesign> {
         VerifiedDesign { name: "xmul", module: xmul::module, spec: Some(xmul::spec) },
         VerifiedDesign { name: "rdiv", module: rdiv::module, spec: Some(rdiv::spec) },
         VerifiedDesign { name: "xdiv", module: xdiv::module, spec: Some(xdiv::spec) },
+        VerifiedDesign { name: "csel", module: csel::module, spec: None },
+        VerifiedDesign { name: "ks", module: ks::module, spec: None },
+        VerifiedDesign { name: "csa3", module: csa3::module, spec: None },
     ]
 }

@@ -1,0 +1,94 @@
+//! The committed fuzzer regression corpus: every divergence a soak run
+//! finds is recorded as a `gg <case-seed-hex> <max-width>` line in
+//! `proptest-regressions/generated.txt`, regenerated from the seed and
+//! re-checked through every soak stage before any random exploration. The
+//! file is embedded at compile time so replay works from any directory.
+
+use crate::check::check_generated;
+use crate::generate::gen_module;
+
+/// The embedded regression corpus.
+pub const CORPUS: &str = include_str!("../../../proptest-regressions/generated.txt");
+
+/// One parsed fuzzer regression: a module seed plus the width cap it was
+/// soaked under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenRegression {
+    /// Seed that regenerates the module ([`gen_module`]).
+    pub case_seed: u64,
+    /// Width cap the divergence was found under.
+    pub max_width: u64,
+}
+
+/// Parses the corpus format: `gg <case-seed-hex> <max-width>` per line;
+/// `#` starts a comment. Malformed lines are errors, not silent skips.
+pub fn parse(corpus: &str) -> Result<Vec<GenRegression>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in corpus.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let err = |what: &str| format!("generated corpus line {}: {what}: {line:?}", lineno + 1);
+        if fields.len() != 3 || fields[0] != "gg" {
+            return Err(err("expected `gg <case-seed-hex> <max-width>`"));
+        }
+        let case_seed = fields[1]
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| err("seed must be 0x-prefixed hex"))?;
+        let max_width = fields[2].parse().map_err(|_| err("bad max-width"))?;
+        out.push(GenRegression { case_seed, max_width });
+    }
+    Ok(out)
+}
+
+/// Parses the committed (embedded) corpus.
+pub fn corpus_entries() -> Result<Vec<GenRegression>, String> {
+    parse(CORPUS)
+}
+
+/// Replays one regression: regenerates the module from its seed and runs
+/// the full check suite.
+pub fn replay(r: GenRegression) -> Result<(), String> {
+    let g = gen_module(r.case_seed);
+    check_generated(&g, r.case_seed, r.max_width)
+}
+
+/// Replays every committed regression; returns the failures (empty when
+/// the corpus is green).
+pub fn replay_all() -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+    for r in parse(CORPUS)? {
+        if let Err(e) = replay(r) {
+            failures.push(format!("gg 0x{:016X} {}: {e}", r.case_seed, r.max_width));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_corpus_parses() {
+        parse(CORPUS).expect("committed corpus is well-formed");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("gg 0x12 16").is_ok());
+        assert!(parse("gg 18 16").is_err(), "decimal seed rejected");
+        assert!(parse("0x12 16").is_err(), "missing gg tag rejected");
+        assert!(parse("gg 0x12").is_err(), "missing width rejected");
+        assert!(parse("# comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn committed_corpus_replays_green() {
+        let failures = replay_all().expect("corpus parses");
+        assert!(failures.is_empty(), "regressions resurfaced: {failures:?}");
+    }
+}

@@ -11,6 +11,7 @@ pub use chicala_chisel as chisel;
 pub use chicala_conformance as conformance;
 pub use chicala_core as core;
 pub use chicala_designs as designs;
+pub use chicala_gen as gen;
 pub use chicala_lowlevel as lowlevel;
 pub use chicala_par as par;
 pub use chicala_sat as sat;
