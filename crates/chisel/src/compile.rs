@@ -184,6 +184,32 @@ impl CompiledModule {
     pub fn reg_index(&self, name: &str) -> Option<usize> {
         self.regs.iter().position(|r| r.name == name)
     }
+
+    /// Input count (declaration order).
+    pub fn inputs_len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Name of input `i`.
+    pub fn input_name(&self, i: usize) -> &str {
+        &self.inputs[i].name
+    }
+
+    /// Declared width of input `i` in bits.
+    pub fn input_width(&self, i: usize) -> u64 {
+        self.inputs[i].width
+    }
+
+    /// Declared width of output `i` in bits (from its driving slot — the
+    /// compile-time symbol table maps slots back to IR widths).
+    pub fn output_width(&self, i: usize) -> u64 {
+        self.width[self.outputs[i].1 as usize]
+    }
+
+    /// Declared width of register `i` in bits.
+    pub fn reg_width(&self, i: usize) -> u64 {
+        self.regs[i].width
+    }
 }
 
 struct Compiler<'m> {

@@ -238,6 +238,10 @@ pub struct Failure {
     pub shrunk: Case,
     /// First divergence description (layer, cycle, signal, both values).
     pub message: String,
+    /// Path of the replay bundle captured for this failure, when trace
+    /// capture is enabled and the artifacts were written (see
+    /// [`crate::capture::capture_failure`]).
+    pub bundle: Option<std::path::PathBuf>,
 }
 
 impl fmt::Display for Failure {
@@ -256,7 +260,11 @@ impl fmt::Display for Failure {
             f,
             "           cargo run --release --example conformance -- --design {} --max-width {} --replay 0x{:016X}",
             self.design, self.max_width, self.case_seed
-        )
+        )?;
+        if let Some(bundle) = &self.bundle {
+            write!(f, "\n  bundle : {}", bundle.display())?;
+        }
+        Ok(())
     }
 }
 
@@ -394,7 +402,7 @@ pub fn gen_case(d: &Design, case_seed: u64, max_width: u64) -> Case {
 /// Elaborates `d` at `width`, memoised process-wide: elaboration is a pure
 /// function of (design, width), so every case of every layer — and every
 /// worker — shares one `ElabModule` instead of re-elaborating per case.
-fn elab(d: &Design, width: u64) -> Result<Arc<ElabModule>, String> {
+pub(crate) fn elab(d: &Design, width: u64) -> Result<Arc<ElabModule>, String> {
     type ElabMemo = Mutex<HashMap<(String, u64), Result<Arc<ElabModule>, String>>>;
     static MEMO: OnceLock<ElabMemo> = OnceLock::new();
     let memo = MEMO.get_or_init(Default::default);
@@ -413,7 +421,7 @@ fn elab(d: &Design, width: u64) -> Result<Arc<ElabModule>, String> {
 
 /// The generated sequential program of `d`, memoised process-wide (the
 /// transformation is width-independent: widths stay symbolic parameters).
-fn transform_arc(d: &Design) -> Result<Arc<SeqProgram>, String> {
+pub(crate) fn transform_arc(d: &Design) -> Result<Arc<SeqProgram>, String> {
     type TransMemo = Mutex<HashMap<String, Result<Arc<SeqProgram>, String>>>;
     static MEMO: OnceLock<TransMemo> = OnceLock::new();
     let memo = MEMO.get_or_init(Default::default);
@@ -432,14 +440,14 @@ fn transform_arc(d: &Design) -> Result<Arc<SeqProgram>, String> {
 /// once and shared across cases and workers. Either compiled side may be
 /// absent (outside its compiler's subset); checks then fall back to the
 /// corresponding tree-walking interpreter.
-struct SimPlan {
-    em: Arc<ElabModule>,
-    prog: Arc<SeqProgram>,
-    chisel: Option<Arc<CompiledModule>>,
-    seq: Option<Arc<SeqCompiled>>,
+pub(crate) struct SimPlan {
+    pub(crate) em: Arc<ElabModule>,
+    pub(crate) prog: Arc<SeqProgram>,
+    pub(crate) chisel: Option<Arc<CompiledModule>>,
+    pub(crate) seq: Option<Arc<SeqCompiled>>,
 }
 
-fn sim_plan(d: &Design, width: u64) -> Result<Arc<SimPlan>, String> {
+pub(crate) fn sim_plan(d: &Design, width: u64) -> Result<Arc<SimPlan>, String> {
     type PlanMemo = Mutex<HashMap<(String, u64), Result<Arc<SimPlan>, String>>>;
     static MEMO: OnceLock<PlanMemo> = OnceLock::new();
     let memo = MEMO.get_or_init(Default::default);
@@ -474,7 +482,7 @@ fn sim_plan_uncached(d: &Design, width: u64) -> Result<SimPlan, String> {
     Ok(SimPlan { em, prog, chisel, seq })
 }
 
-fn svalue_scalar(v: &SValue) -> Option<BigInt> {
+pub(crate) fn svalue_scalar(v: &SValue) -> Option<BigInt> {
     match v {
         SValue::Int(i) => Some(i.clone()),
         SValue::Bool(b) => Some(BigInt::from(*b)),
@@ -801,6 +809,9 @@ pub struct FormalObligation {
     pub inputs: BTreeMap<String, Word<Net>>,
     /// The design's symbolic state after its full latency.
     pub state: UnrolledState<Net>,
+    /// Golden-cone words noted by the spec builder, keyed by the design
+    /// signal each is compared against (for counterexample decoding).
+    pub golden: BTreeMap<String, Word<Net>>,
 }
 
 /// Builds the formal obligation for `d` at `width`: symbolically unrolls
@@ -814,7 +825,9 @@ pub fn formal_gate_obligation(d: &Design, width: u64) -> Result<Option<FormalObl
     let latency = (d.latency)(width);
     let state = unroll(&em, &mut nl, &inputs, &BTreeMap::new(), latency as usize)
         .map_err(|e| format!("{}: formal unroll at width {width}: {e}", d.name))?;
-    let property = gate_spec(&mut nl, &GateEnv { width, inputs: &inputs, state: &state });
+    let env = GateEnv::new(width, &inputs, &state);
+    let property = gate_spec(&mut nl, &env);
+    let golden = env.golden.into_inner();
     let max_w = inputs.values().map(|w| w.width()).max().unwrap_or(0);
     let mut var_order = Vec::new();
     for i in 0..max_w {
@@ -824,11 +837,11 @@ pub fn formal_gate_obligation(d: &Design, width: u64) -> Result<Option<FormalObl
             }
         }
     }
-    Ok(Some(FormalObligation { netlist: nl, property, var_order, inputs, state }))
+    Ok(Some(FormalObligation { netlist: nl, property, var_order, inputs, state, golden }))
 }
 
 /// The value of a netlist word under an evaluation of the whole netlist.
-fn word_value(word: &Word<Net>, vals: &[bool]) -> BigInt {
+pub(crate) fn word_value(word: &Word<Net>, vals: &[bool]) -> BigInt {
     let mut v = BigInt::zero();
     for (i, bit) in word.bits.iter().enumerate() {
         if vals[bit.0 as usize] {
@@ -1169,7 +1182,7 @@ pub fn run_design(d: &Design, cfg: &Config) -> Report {
                 Ok(cycles) => stats.record(&case, cycles, elapsed_ns),
                 Err(message) => {
                     let shrunk = shrink(d, layer, &case);
-                    report.failures.push(Failure {
+                    let mut failure = Failure {
                         design: d.name.to_string(),
                         layer,
                         master_seed: cfg.seed,
@@ -1178,7 +1191,10 @@ pub fn run_design(d: &Design, cfg: &Config) -> Report {
                         case,
                         shrunk,
                         message,
-                    });
+                        bundle: None,
+                    };
+                    failure.bundle = crate::capture::capture_failure(d, &failure, cfg);
+                    report.failures.push(failure);
                     if cfg.stop_at_first {
                         break;
                     }

@@ -23,6 +23,7 @@
 //! `proptest-regressions/conformance.txt`, which [`regressions::replay_all`]
 //! re-runs before any random exploration.
 
+pub mod capture;
 pub mod engine;
 pub mod registry;
 pub mod regressions;
@@ -34,6 +35,7 @@ pub use engine::{
     replay_case, run_all, run_design, Case, Config, Failure, FormalObligation, Layer, LayerStats,
     Report, SimBackend,
 };
-pub use registry::{all_designs, Design, FinalState, GateEnv, GateSpecFn, InputSpec};
+pub use registry::{all_designs, drill_designs, Design, FinalState, GateEnv, GateSpecFn, InputSpec};
+pub use capture::{capture_failure, capture_traces, miter_trace};
 pub use rng::{seed_from_env, SplitMix64};
 pub use shrink::shrink;

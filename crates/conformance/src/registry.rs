@@ -44,6 +44,27 @@ pub struct GateEnv<'a> {
     pub inputs: &'a BTreeMap<String, Word<Net>>,
     /// Register and output words after `latency` symbolic cycles.
     pub state: &'a UnrolledState<Net>,
+    /// Golden-cone words noted by the spec builder, keyed by the design
+    /// signal each is compared against. Counterexample decoding reads
+    /// these to render the golden side of the miter next to the design's
+    /// (see `capture::miter_trace`).
+    pub golden: std::cell::RefCell<BTreeMap<String, Word<Net>>>,
+}
+
+impl<'a> GateEnv<'a> {
+    /// A fresh environment with an empty golden notebook.
+    pub fn new(
+        width: u64,
+        inputs: &'a BTreeMap<String, Word<Net>>,
+        state: &'a UnrolledState<Net>,
+    ) -> GateEnv<'a> {
+        GateEnv { width, inputs, state, golden: Default::default() }
+    }
+
+    /// Notes `word` as the golden value for design signal `name`.
+    pub fn note_golden(&self, name: &str, word: &Word<Net>) {
+        self.golden.borrow_mut().insert(name.to_string(), word.clone());
+    }
 }
 
 /// Builds the formal gate-level obligation for one design: a single net
@@ -83,9 +104,15 @@ pub struct Design {
 }
 
 impl Design {
-    /// Looks up a registered design by name.
+    /// Looks up a registered design by name. Besides [`all_designs`], the
+    /// hidden drill designs ([`drill_designs`]) resolve here, so the CLI
+    /// and replay bundles can exercise the failure path on demand without
+    /// the drills ever entering a normal soak.
     pub fn by_name(name: &str) -> Option<Design> {
-        all_designs().into_iter().find(|d| d.name == name)
+        all_designs()
+            .into_iter()
+            .chain(drill_designs())
+            .find(|d| d.name == name)
     }
 }
 
@@ -123,6 +150,15 @@ fn popcount_spec(_w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> R
 fn rmul_spec(_w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
     let want = input(ins, "io_a") * input(ins, "io_b");
     expect_eq("rmul acc", reg(fin, "acc")?, &want)
+}
+
+/// The drill spec: deliberately demands `acc == a*b + 1`, so `rmul_drill`
+/// fails its spec layer on every case. Used by the failure-capture drill
+/// (CI and `tests/failure_capture.rs`) to produce a real bundle + VCD pair
+/// deterministically without breaking any registered design.
+fn rmul_drill_spec(_w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
+    let want = input(ins, "io_a") * input(ins, "io_b") + BigInt::one();
+    expect_eq("rmul_drill acc", reg(fin, "acc")?, &want)
 }
 
 fn xmul_spec(w: u64, ins: &BTreeMap<String, BigInt>, fin: &FinalState) -> Result<(), String> {
@@ -186,6 +222,19 @@ fn reg_word<'a>(env: &'a GateEnv, name: &str) -> &'a Word<Net> {
     env.state.regs.get(name).unwrap_or_else(|| panic!("gate spec: no register word `{name}`"))
 }
 
+/// Notes the golden word for register `name` and returns the equality
+/// property net comparing it against the design's unrolled register.
+fn golden_reg(nl: &mut Netlist, env: &GateEnv, name: &str, golden: &Word<Net>) -> Net {
+    env.note_golden(name, golden);
+    nets_equal(nl, reg_word(env, name), golden)
+}
+
+/// [`golden_reg`] for an output word.
+fn golden_out(nl: &mut Netlist, env: &GateEnv, name: &str, golden: &Word<Net>) -> Net {
+    env.note_golden(name, golden);
+    nets_equal(nl, out_word(env, name), golden)
+}
+
 /// Static left shift by `k`, wrapped to `width` bits (the `shl` + register
 /// clamp the designs perform).
 fn shl_word(nl: &mut Netlist, w: &Word<Net>, k: usize, width: usize) -> Word<Net> {
@@ -214,7 +263,7 @@ fn zero_word(nl: &mut Netlist, width: usize) -> Word<Net> {
 /// `rotate`: after `len + 1` cycles the register has rotated all the way
 /// around — `R == io_in`.
 fn rotate_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
-    nets_equal(nl, reg_word(env, "R"), in_word(env, "io_in"))
+    golden_reg(nl, env, "R", &in_word(env, "io_in").clone())
 }
 
 /// `popcount`: the same ripple chain of `len` one-bit adds the generator
@@ -227,12 +276,7 @@ fn popcount_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
         let bit = Word { bits: vec![input.bits[i]], signed: false };
         acc = add_words(nl, &acc, &bit, w + 1);
     }
-    let out = env
-        .state
-        .outputs
-        .get("io_out")
-        .unwrap_or_else(|| panic!("gate spec: no output word `io_out`"));
-    nets_equal(nl, out, &acc)
+    golden_out(nl, env, "io_out", &acc)
 }
 
 /// `rmul`: one latch cycle, then `len` conditional adds of the
@@ -249,7 +293,7 @@ fn rmul_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
         a_sh = shl_word(nl, &a_sh, 1, w2);
         b_sh = shr_word(nl, &b_sh, 1, w);
     }
-    nets_equal(nl, reg_word(env, "acc"), &acc)
+    golden_reg(nl, env, "acc", &acc)
 }
 
 /// `xmul`: radix-4 Booth windows through the same 3:2 compressor, one
@@ -295,8 +339,8 @@ fn xmul_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
         a_sh = shl_word(nl, &a_sh, 2, ww);
         b_sh = shr_word(nl, &b_sh, 2, w + 3);
     }
-    let ps = nets_equal(nl, reg_word(env, "acc_s"), &acc_s);
-    let pc = nets_equal(nl, reg_word(env, "acc_c"), &acc_c);
+    let ps = golden_reg(nl, env, "acc_s", &acc_s);
+    let pc = golden_reg(nl, env, "acc_c", &acc_c);
     nl.and(ps, pc)
 }
 
@@ -331,8 +375,8 @@ fn rdiv_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
         quot = Word { bits: q_next.bits.into_iter().take(w).collect(), signed: false };
         n_sh = shl_word(nl, &n_sh, 1, w);
     }
-    let pr = nets_equal(nl, reg_word(env, "rem"), &rem);
-    let pq = nets_equal(nl, reg_word(env, "quot"), &quot);
+    let pr = golden_reg(nl, env, "rem", &rem);
+    let pq = golden_reg(nl, env, "quot", &quot);
     nl.and(pr, pq)
 }
 
@@ -355,7 +399,7 @@ fn xdiv_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
         bits.extend(sub.bits.iter().take(w).copied());
         sreg = Word { bits, signed: false };
     }
-    nets_equal(nl, reg_word(env, "shiftReg"), &sreg)
+    golden_reg(nl, env, "shiftReg", &sreg)
 }
 
 fn out_word<'a>(env: &'a GateEnv, name: &str) -> &'a Word<Net> {
@@ -383,7 +427,7 @@ fn csel_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
     let mut bits: Vec<Net> = low.bits[..lo].to_vec();
     bits.extend(sel.bits.iter().copied());
     let golden = Word { bits, signed: false };
-    nets_equal(nl, out_word(env, "io_sum"), &golden)
+    golden_out(nl, env, "io_sum", &golden)
 }
 
 /// `ks`: the same six span-doubling generate/propagate levels, bitwise.
@@ -416,7 +460,7 @@ fn ks_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
     }
     bits.push(g[w - 1]);
     let golden = Word { bits, signed: false };
-    nets_equal(nl, out_word(env, "io_sum"), &golden)
+    golden_out(nl, env, "io_sum", &golden)
 }
 
 /// `csa3`: two bitwise 3:2 layers, then the final carry-propagate add.
@@ -456,7 +500,7 @@ fn csa3_gate(nl: &mut Netlist, env: &GateEnv) -> Net {
     let s2w = Word { bits: s2, signed: false };
     let c2w = Word { bits: c2, signed: false };
     let golden = add_words(nl, &s2w, &c2w, w + 2);
-    nets_equal(nl, out_word(env, "io_sum"), &golden)
+    golden_out(nl, env, "io_sum", &golden)
 }
 
 /// All registered designs. The single enrollment point: every conformance
@@ -583,6 +627,29 @@ pub fn all_designs() -> Vec<Design> {
         },
     ]
 }
+
+/// Hidden drill designs: reachable through [`Design::by_name`] but never
+/// part of [`all_designs`], so normal soaks stay green. `rmul_drill` is
+/// `rmul` with a deliberately wrong spec (`acc == a*b + 1`): running it
+/// fails deterministically, which is exactly what the counterexample
+/// capture drill (CI green-path step, `tests/failure_capture.rs`, and the
+/// EXPERIMENTS walkthrough) needs.
+pub fn drill_designs() -> Vec<Design> {
+    vec![Design {
+        name: "rmul_drill",
+        build: chicala_designs::rmul::module,
+        inputs: &[
+            InputSpec { name: "io_a", nonzero: false },
+            InputSpec { name: "io_b", nonzero: false },
+        ],
+        min_width: 1,
+        gate_max_width: 24,
+        latency: |w| w + 1,
+        spec: rmul_drill_spec,
+        gate_spec: None,
+    }]
+}
+
 
 #[cfg(test)]
 mod tests {

@@ -75,18 +75,7 @@ impl SplitMix64 {
 /// Reads the master seed from the `CHICALA_SEED` environment variable
 /// (decimal, or hex with an `0x` prefix), falling back to `default`.
 pub fn seed_from_env(default: u64) -> u64 {
-    match std::env::var("CHICALA_SEED") {
-        Ok(s) => {
-            let s = s.trim();
-            let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-                u64::from_str_radix(hex, 16)
-            } else {
-                s.parse()
-            };
-            parsed.unwrap_or_else(|_| panic!("CHICALA_SEED is not a u64: {s:?}"))
-        }
-        Err(_) => default,
-    }
+    chicala_trace::replay::seed_from_env("CHICALA_SEED", default)
 }
 
 #[cfg(test)]

@@ -56,7 +56,7 @@ fn svalue_scalar(v: &SValue) -> Option<BigInt> {
 }
 
 /// Random inputs for one cycle, masked to each port's elaborated width.
-fn gen_inputs(
+pub(crate) fn gen_inputs(
     rng: &mut SplitMix64,
     g: &GenModule,
     em: &ElabModule,

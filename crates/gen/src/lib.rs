@@ -19,11 +19,13 @@
 //! (`proptest-regressions/generated.txt`), replayable via
 //! `CHICALA_GEN_SEED` or the `gen_soak` example's `--replay` flag.
 
+pub mod capture;
 pub mod check;
 pub mod corpus;
 pub mod generate;
 pub mod shrink;
 
+pub use capture::{capture_divergence, record_width_traces};
 pub use check::{check_generated, sample_widths, self_miter, MITER_CYCLES, MITER_WIDTH_CAP};
 pub use corpus::{corpus_entries, replay_all, GenRegression, CORPUS};
 pub use generate::{gen_module, GenModule, WidthClass, MIN_LEN};
@@ -37,18 +39,7 @@ use std::time::{Duration, Instant};
 /// Reads the fuzzer master seed from `CHICALA_GEN_SEED` (decimal, or hex
 /// with an `0x` prefix), falling back to `default`.
 pub fn gen_seed_from_env(default: u64) -> u64 {
-    match std::env::var("CHICALA_GEN_SEED") {
-        Ok(s) => {
-            let s = s.trim();
-            let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-                u64::from_str_radix(hex, 16)
-            } else {
-                s.parse()
-            };
-            parsed.unwrap_or_else(|_| panic!("CHICALA_GEN_SEED is not a u64: {s:?}"))
-        }
-        Err(_) => default,
-    }
+    chicala_trace::replay::seed_from_env("CHICALA_GEN_SEED", default)
 }
 
 /// Soak configuration.
@@ -94,12 +85,24 @@ pub struct SoakDivergence {
     /// The reproducer's divergence message (stages can shift as the
     /// module shrinks).
     pub shrunk_message: String,
+    /// Path of the replay bundle captured for this divergence, when trace
+    /// capture is enabled (see [`capture::capture_divergence`]).
+    pub bundle: Option<std::path::PathBuf>,
 }
 
 impl SoakDivergence {
     /// The corpus line pinning this divergence.
     pub fn corpus_line(&self) -> String {
         format!("gg 0x{:016X} {}", self.case_seed, self.max_width)
+    }
+
+    /// The exact CLI line replaying this one case.
+    pub fn replay_line(&self) -> String {
+        format!(
+            "cargo run --release --example gen_soak -- --replay {} --max-width {}",
+            chicala_trace::replay::format_seed(self.case_seed),
+            self.max_width
+        )
     }
 }
 
@@ -146,7 +149,7 @@ pub fn run_case(case_seed: u64, max_width: u64) -> Result<(), Box<SoakDivergence
     let cand = GenModule { module: shrunk.clone(), inputs: g.inputs.clone() };
     let shrunk_message =
         check_generated(&cand, case_seed, max_width).err().unwrap_or_else(|| message.clone());
-    Err(Box::new(SoakDivergence {
+    let mut div = SoakDivergence {
         case_seed,
         max_width,
         original_nodes: node_count(&g.module),
@@ -154,7 +157,10 @@ pub fn run_case(case_seed: u64, max_width: u64) -> Result<(), Box<SoakDivergence
         shrunk,
         message,
         shrunk_message,
-    }))
+        bundle: None,
+    };
+    div.bundle = capture::capture_divergence(&cand, &div);
+    Err(Box::new(div))
 }
 
 /// Runs a full soak: `cfg.modules` generated modules through every check

@@ -1,5 +1,13 @@
 //! The global collector: the enable gate, the per-thread span stacks, and
 //! the record stores behind one mutex.
+//!
+//! Enabled-mode probes are kept cheap three ways: histograms are
+//! power-of-two bucketed ([`Hist`]), so recording a sample is O(1) with
+//! constant memory per histogram; counter and histogram updates on an
+//! existing name allocate nothing; and completed spans are buffered in a
+//! thread-local queue that is flushed to the global store only when the
+//! thread's span stack empties (one lock per top-level span, not one per
+//! span).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -16,6 +24,28 @@ thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
     /// The open-span name stack of this thread (hierarchy source).
     static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Completed spans not yet flushed to the global store. Flushed when
+    /// the span stack empties and on thread exit (the `Pending` drop).
+    static PENDING: Pending = const { Pending(RefCell::new(Vec::new())) };
+}
+
+struct Pending(RefCell<Vec<SpanRecord>>);
+
+impl Pending {
+    fn flush(&self) {
+        let mut buf = self.0.borrow_mut();
+        if !buf.is_empty() {
+            lock().spans.append(&mut buf);
+        }
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        // Thread exit with spans still buffered (an outermost span leaked
+        // via mem::forget, or a panic unwound past it): don't lose them.
+        self.flush();
+    }
 }
 
 /// Whether collection is on. The first call reads `CHICALA_TRACE` (set and
@@ -79,11 +109,85 @@ pub struct EventRecord {
     pub fields: Vec<(String, String)>,
 }
 
+/// A power-of-two-bucketed histogram: exact count, min, max, and sum, plus
+/// 65 bit-length buckets for percentile estimates. Memory is constant no
+/// matter how many samples are recorded, and recording never allocates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Smallest sample (`u64::MAX` while empty).
+    pub min: u64,
+    /// Largest sample (0 while empty).
+    pub max: u64,
+    /// Sum of all samples.
+    pub sum: u128,
+    /// `buckets[i]` counts samples of bit length `i`: bucket 0 holds the
+    /// zeros, bucket `i ≥ 1` the range `[2^(i-1), 2^i - 1]`.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist { count: 0, min: u64::MAX, max: 0, sum: 0, buckets: [0; 65] }
+    }
+}
+
+impl Hist {
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[(64 - value.leading_zeros()) as usize] += 1;
+    }
+
+    /// Summarises the histogram; `None` while empty. Count, min, max, and
+    /// mean are exact; the percentiles are bucket upper bounds clamped to
+    /// `[min, max]`, i.e. correct to within a factor of two.
+    pub fn summary(&self) -> Option<HistSummary> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(HistSummary {
+            count: self.count as usize,
+            min: self.min,
+            max: self.max,
+            mean: self.sum as f64 / self.count as f64,
+            p50: self.approx_percentile(50.0),
+            p90: self.approx_percentile(90.0),
+            p99: self.approx_percentile(99.0),
+        })
+    }
+
+    /// Nearest-rank percentile estimate: walks the buckets to the one
+    /// containing rank `ceil(q/100 · count)` and returns that bucket's
+    /// upper bound, clamped to the exact `[min, max]` envelope.
+    fn approx_percentile(&self, q: f64) -> u64 {
+        debug_assert!(self.count > 0);
+        let rank = (((q / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let hi = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     spans: Vec<SpanRecord>,
     counters: BTreeMap<String, u64>,
-    hists: BTreeMap<String, Vec<u64>>,
+    hists: BTreeMap<String, Hist>,
     events: Vec<EventRecord>,
 }
 
@@ -144,13 +248,22 @@ impl Drop for Span {
             };
             (path, name, depth)
         });
-        lock().spans.push(SpanRecord {
+        let rec = SpanRecord {
             path,
             name,
             start_ns,
             dur_ns,
             thread: thread_id(),
             depth,
+        };
+        // Buffer locally; take the global lock only when the outermost
+        // span of this thread closes, so a case's whole span tree costs
+        // one lock acquisition instead of one per span.
+        PENDING.with(|p| {
+            p.0.borrow_mut().push(rec);
+            if depth == 0 {
+                p.flush();
+            }
         });
     }
 }
@@ -162,8 +275,12 @@ pub fn counter(name: &str, delta: u64) {
         return;
     }
     let mut g = lock();
-    let c = g.counters.entry(name.to_string()).or_insert(0);
-    *c = c.saturating_add(delta);
+    match g.counters.get_mut(name) {
+        Some(c) => *c = c.saturating_add(delta),
+        None => {
+            g.counters.insert(name.to_string(), delta);
+        }
+    }
 }
 
 /// Records one sample into the named histogram.
@@ -171,7 +288,15 @@ pub fn record(name: &str, value: u64) {
     if !enabled() {
         return;
     }
-    lock().hists.entry(name.to_string()).or_default().push(value);
+    let mut g = lock();
+    match g.hists.get_mut(name) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h = Hist::default();
+            h.record(value);
+            g.hists.insert(name.to_string(), h);
+        }
+    }
 }
 
 /// Records a structured diagnostic event.
@@ -191,12 +316,14 @@ pub fn event(name: &str, fields: &[(&str, String)]) {
 /// A point-in-time copy of everything collected since the last [`reset`].
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
-    /// Completed spans, in completion order.
+    /// Completed spans. Per-thread order is completion order; spans whose
+    /// outermost ancestor is still open on another thread are buffered
+    /// there and not yet visible.
     pub spans: Vec<SpanRecord>,
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
-    /// Raw histogram samples by name, in recording order.
-    pub hists: BTreeMap<String, Vec<u64>>,
+    /// Bucketed histograms by name.
+    pub hists: BTreeMap<String, Hist>,
     /// Diagnostic events, in recording order.
     pub events: Vec<EventRecord>,
 }
@@ -206,7 +333,7 @@ impl Snapshot {
     pub fn hist_summaries(&self) -> BTreeMap<String, HistSummary> {
         self.hists
             .iter()
-            .filter_map(|(k, v)| HistSummary::from_samples(v).map(|s| (k.clone(), s)))
+            .filter_map(|(k, v)| v.summary().map(|s| (k.clone(), s)))
             .collect()
     }
 
@@ -220,8 +347,10 @@ impl Snapshot {
     }
 }
 
-/// Copies out everything collected so far.
+/// Copies out everything collected so far (flushing this thread's
+/// buffered spans first).
 pub fn snapshot() -> Snapshot {
+    PENDING.with(Pending::flush);
     let g = lock();
     Snapshot {
         spans: g.spans.clone(),
@@ -234,6 +363,7 @@ pub fn snapshot() -> Snapshot {
 /// Clears all collected data (open spans on other threads will still
 /// record on drop). Does not change the enable state.
 pub fn reset() {
+    PENDING.with(|p| p.0.borrow_mut().clear());
     let mut g = lock();
     g.spans.clear();
     g.counters.clear();
@@ -261,7 +391,9 @@ pub struct HistSummary {
 }
 
 impl HistSummary {
-    /// Summarises `samples`; `None` when empty.
+    /// Summarises raw `samples` exactly (sorting a copy); `None` when
+    /// empty. The live collector keeps only bucketed [`Hist`]s — this is
+    /// for callers that retained their own sample vectors (benches).
     pub fn from_samples(samples: &[u64]) -> Option<HistSummary> {
         if samples.is_empty() {
             return None;

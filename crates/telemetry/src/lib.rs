@@ -10,8 +10,9 @@
 //!   and aggregated reports show the full call tree;
 //! * **counters** — named monotonic counts ([`counter`]), saturating on
 //!   overflow;
-//! * **histograms** — named sample sets ([`record`]) summarised as
-//!   min/mean/p50/p90/p99/max ([`HistSummary`]);
+//! * **histograms** — named sample streams ([`record`]) stored as
+//!   power-of-two bucketed [`Hist`]s (constant memory, O(1) recording)
+//!   and summarised as min/mean/p50/p90/p99/max ([`HistSummary`]);
 //! * **events** — structured key/value diagnostics ([`event`]) replacing
 //!   ad-hoc `eprintln!` debug dumps.
 //!
@@ -50,7 +51,7 @@ mod report;
 pub use chrome::chrome_trace;
 pub use collect::{
     counter, enabled, event, record, reset, set_enabled, snapshot, start_span, EventRecord,
-    HistSummary, Snapshot, Span, SpanRecord,
+    Hist, HistSummary, Snapshot, Span, SpanRecord,
 };
 pub use json::JsonValue;
 pub use report::tree_report;

@@ -8,7 +8,7 @@
 
 use chicala_telemetry as telemetry;
 use std::sync::{Mutex, MutexGuard, OnceLock};
-use telemetry::{HistSummary, Snapshot};
+use telemetry::{Hist, HistSummary, Snapshot};
 
 fn exclusive() -> MutexGuard<'static, ()> {
     static GATE: OnceLock<Mutex<()>> = OnceLock::new();
@@ -107,6 +107,53 @@ fn percentiles_many_samples() {
 }
 
 #[test]
+fn hist_buckets_by_bit_length_with_exact_envelope() {
+    let mut h = Hist::default();
+    assert_eq!(h.summary(), None);
+    for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, u64::MAX] {
+        h.record(v);
+    }
+    assert_eq!(h.count, 9);
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, u64::MAX);
+    assert_eq!(h.sum, 1025u128 + u64::MAX as u128);
+    // Bit-length buckets: 0 → bucket 0, 1 → 1, {2,3} → 2, {4,7} → 3,
+    // 8 → 4, 1000 → 10, u64::MAX → 64.
+    assert_eq!(h.buckets[0], 1);
+    assert_eq!(h.buckets[1], 1);
+    assert_eq!(h.buckets[2], 2);
+    assert_eq!(h.buckets[3], 2);
+    assert_eq!(h.buckets[4], 1);
+    assert_eq!(h.buckets[10], 1);
+    assert_eq!(h.buckets[64], 1);
+    assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+}
+
+#[test]
+fn hist_summary_percentiles_stay_within_a_factor_of_two() {
+    // Uniform 1..=1000: nearest-rank p50 = 500, p90 = 900, p99 = 990.
+    // Bucket upper bounds give 511, 1023→clamped... within 2× of exact.
+    let mut h = Hist::default();
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    let s = h.summary().expect("non-empty");
+    assert_eq!(s.count, 1000);
+    assert_eq!((s.min, s.max), (1, 1000));
+    assert_eq!(s.mean, 500.5);
+    for (approx, exact) in [(s.p50, 500u64), (s.p90, 900), (s.p99, 990)] {
+        assert!(approx >= exact && approx <= exact * 2, "{approx} vs {exact}");
+        assert!(approx <= s.max && approx >= s.min);
+    }
+
+    // One sample: every percentile collapses to it exactly (clamping).
+    let mut one = Hist::default();
+    one.record(42);
+    let s = one.summary().expect("one sample");
+    assert_eq!((s.min, s.p50, s.p90, s.p99, s.max), (42, 42, 42, 42, 42));
+}
+
+#[test]
 fn counter_saturates_instead_of_wrapping() {
     let _g = exclusive();
     telemetry::counter("sat", u64::MAX - 1);
@@ -134,7 +181,7 @@ fn concurrent_recording_from_many_threads() {
     });
     let snap = telemetry::snapshot();
     assert_eq!(snap.counters["work.items"], (THREADS as u64) * PER_THREAD);
-    assert_eq!(snap.hists["work.size"].len(), THREADS * PER_THREAD as usize);
+    assert_eq!(snap.hists["work.size"].count, (THREADS as u64) * PER_THREAD);
     assert_eq!(snap.spans.len(), THREADS * PER_THREAD as usize);
     // Span nesting is per-thread: none of these spans saw another thread's
     // open span as a parent.

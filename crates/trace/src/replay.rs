@@ -1,0 +1,86 @@
+//! The one place replay knobs are parsed, formatted, and documented.
+//!
+//! The workspace has two seeded fuzzing surfaces, each replayable from a
+//! single `u64` master seed:
+//!
+//! | knob               | surface                | CLI                                             |
+//! |--------------------|------------------------|-------------------------------------------------|
+//! | `CHICALA_SEED`     | conformance engine     | `cargo run --release --example conformance`     |
+//! | `CHICALA_GEN_SEED` | generative design fuzz | `cargo run --release --example gen_soak`        |
+//!
+//! Both accept a decimal `u64` or hex with an `0x`/`0X` prefix, and both
+//! panic loudly on a malformed value rather than silently fuzzing from the
+//! default. Every failure report prints its replay line through
+//! [`env_replay_line`] / the per-surface helpers, so the exact incantation
+//! is always one copy-paste away; replay bundles additionally carry it in
+//! their `replay_env` / `replay_cmd` fields (see [`crate::bundle`]).
+
+/// Parses a seed string: decimal, or hex with an `0x`/`0X` prefix.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The canonical seed rendering used in every replay line: zero-padded
+/// 16-digit hex. Also the lossless way to store a `u64` in a JSON bundle
+/// (JSON numbers are doubles and truncate above 2^53).
+pub fn format_seed(seed: u64) -> String {
+    format!("0x{seed:016X}")
+}
+
+/// Reads the master seed from environment variable `var`, falling back to
+/// `default` when unset. Panics on a malformed value — a typo'd seed must
+/// not silently explore a different stream.
+pub fn seed_from_env(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(s) => parse_seed(&s).unwrap_or_else(|| panic!("{var} is not a u64: {s:?}")),
+        Err(_) => default,
+    }
+}
+
+/// `VAR=0x… <cmd>` — the exact env-driven replay line for a whole run.
+pub fn env_replay_line(var: &str, seed: u64, cmd: &str) -> String {
+    format!("{var}={} {cmd}", format_seed(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_and_hex() {
+        assert_eq!(parse_seed("12345"), Some(12345));
+        assert_eq!(parse_seed("0xFF"), Some(255));
+        assert_eq!(parse_seed("0Xff"), Some(255));
+        assert_eq!(parse_seed(" 7 "), Some(7));
+        assert_eq!(parse_seed("0x"), None);
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed("0xC1CA1A00"), Some(0xC1CA_1A00));
+    }
+
+    #[test]
+    fn format_round_trips_and_is_padded() {
+        for seed in [0u64, 1, 0xC1CA_1A00, u64::MAX] {
+            let s = format_seed(seed);
+            assert_eq!(s.len(), 18);
+            assert_eq!(parse_seed(&s), Some(seed));
+        }
+    }
+
+    #[test]
+    fn env_fallback_and_override() {
+        assert_eq!(seed_from_env("CHICALA_NO_SUCH_VAR_XYZ", 42), 42);
+    }
+
+    #[test]
+    fn replay_line_shape() {
+        assert_eq!(
+            env_replay_line("CHICALA_SEED", 0xAB, "cargo test -q --test conformance"),
+            "CHICALA_SEED=0x00000000000000AB cargo test -q --test conformance"
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! A dependency-free VCD (Value Change Dump) writer and a minimal parser.
+//!
+//! The writer preserves the typed trace structure: signals are grouped
+//! into sub-scopes by role (`inputs` / `outputs` / `registers` / `wires`)
+//! under one module scope per layer, widths come from the IR declarations,
+//! and registers use the VCD `reg` var type. A marked divergence is
+//! emitted twice — as a machine-readable `$comment` in the header and as a
+//! one-bit `__divergence` marker signal that pulses at the divergent cycle
+//! — so both waveform viewers and scripts can find it.
+//!
+//! The parser understands exactly the subset the writer emits (plus
+//! carried-over values between timestamps) and exists so tests can pin
+//! byte-level round-trip fidelity without an external VCD library.
+
+use crate::{Divergence, SignalKind, Trace};
+use chicala_bigint::BigInt;
+
+/// The reserved name of the divergence marker signal.
+pub const MARKER: &str = "__divergence";
+
+/// Identifier code for signal index `i`: base-94 over the printable ASCII
+/// range VCD allows (`!` .. `~`).
+fn id_code(mut i: usize) -> String {
+    let mut out = String::new();
+    loop {
+        out.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            return out;
+        }
+    }
+}
+
+/// `value` as a `width`-bit binary string, MSB first.
+fn to_binary(value: &BigInt, width: u64) -> String {
+    let v = value.to_unsigned(width);
+    (0..width).rev().map(|i| if v.bit(i) { '1' } else { '0' }).collect()
+}
+
+/// Serializes `t` as a VCD document. Every signal is dumped at every
+/// cycle (timestamp = cycle index), so the output is deterministic and
+/// trivially diffable between the two sides of a pair.
+pub fn write_vcd(t: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("$comment chicala-trace v1 $end\n");
+    if let Some(d) = &t.divergence {
+        out.push_str(&format!(
+            "$comment divergence cycle={} signal={} expected={} actual={} $end\n",
+            d.cycle, d.signal, d.expected, d.actual
+        ));
+    }
+    out.push_str("$timescale 1ns $end\n");
+    out.push_str(&format!("$scope module {} $end\n", t.scope));
+    for kind in [SignalKind::Input, SignalKind::Output, SignalKind::Register, SignalKind::Wire] {
+        let members: Vec<usize> = (0..t.signals.len())
+            .filter(|&i| t.signals[i].kind == kind)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let var_type = if kind == SignalKind::Register { "reg" } else { "wire" };
+        out.push_str(&format!("$scope module {} $end\n", kind.name()));
+        for i in members {
+            let s = &t.signals[i];
+            out.push_str(&format!(
+                "$var {var_type} {} {} {} $end\n",
+                s.width,
+                id_code(i),
+                s.name
+            ));
+        }
+        out.push_str("$upscope $end\n");
+    }
+    let marker_id = id_code(t.signals.len());
+    if t.divergence.is_some() {
+        out.push_str(&format!("$var wire 1 {marker_id} {MARKER} $end\n"));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    for (c, row) in t.cycles.iter().enumerate() {
+        out.push_str(&format!("#{c}\n"));
+        for (i, v) in row.iter().enumerate() {
+            out.push_str(&format!("b{} {}\n", to_binary(v, t.signals[i].width), id_code(i)));
+        }
+        if let Some(d) = &t.divergence {
+            let pulse = if d.cycle == c as u64 { '1' } else { '0' };
+            out.push_str(&format!("{pulse}{marker_id}\n"));
+        }
+    }
+    out
+}
+
+/// Parses a VCD document produced by [`write_vcd`] back into a [`Trace`].
+/// Signals keep their declared width and role (from the enclosing
+/// sub-scope); the `__divergence` marker signal is consumed, not declared.
+/// Values missing at a timestamp carry over from the previous one.
+pub fn parse_vcd(src: &str) -> Result<Trace, String> {
+    let mut tokens = src.split_whitespace().peekable();
+    let mut trace: Option<Trace> = None;
+    let mut divergence: Option<Divergence> = None;
+    let mut scope_stack: Vec<String> = Vec::new();
+    // id -> signal index in the parsed trace; the marker id maps to None.
+    let mut ids: Vec<(String, Option<usize>)> = Vec::new();
+
+    // Header.
+    while let Some(tok) = tokens.next() {
+        match tok {
+            "$comment" => {
+                let mut words = Vec::new();
+                for w in tokens.by_ref() {
+                    if w == "$end" {
+                        break;
+                    }
+                    words.push(w.to_string());
+                }
+                if words.first().map(String::as_str) == Some("divergence") {
+                    let field = |key: &str| -> Option<String> {
+                        words.iter().find_map(|w| {
+                            w.strip_prefix(&format!("{key}=")).map(str::to_string)
+                        })
+                    };
+                    divergence = Some(Divergence {
+                        cycle: field("cycle")
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("divergence comment: bad cycle")?,
+                        signal: field("signal").ok_or("divergence comment: no signal")?,
+                        expected: field("expected").ok_or("divergence comment: no expected")?,
+                        actual: field("actual").ok_or("divergence comment: no actual")?,
+                    });
+                }
+            }
+            "$timescale" | "$dumpvars" => {
+                for w in tokens.by_ref() {
+                    if w == "$end" {
+                        break;
+                    }
+                }
+            }
+            "$scope" => {
+                let _module = tokens.next().ok_or("truncated $scope")?;
+                let name = tokens.next().ok_or("truncated $scope")?.to_string();
+                if tokens.next() != Some("$end") {
+                    return Err("malformed $scope".to_string());
+                }
+                if trace.is_none() {
+                    trace = Some(Trace::new(name.clone()));
+                }
+                scope_stack.push(name);
+            }
+            "$upscope" => {
+                if tokens.next() != Some("$end") {
+                    return Err("malformed $upscope".to_string());
+                }
+                scope_stack.pop();
+            }
+            "$var" => {
+                let _ty = tokens.next().ok_or("truncated $var")?;
+                let width: u64 = tokens
+                    .next()
+                    .ok_or("truncated $var")?
+                    .parse()
+                    .map_err(|_| "bad $var width")?;
+                let id = tokens.next().ok_or("truncated $var")?.to_string();
+                let name = tokens.next().ok_or("truncated $var")?.to_string();
+                if tokens.next() != Some("$end") {
+                    return Err("malformed $var".to_string());
+                }
+                let t = trace.as_mut().ok_or("$var before $scope")?;
+                if name == MARKER {
+                    ids.push((id, None));
+                    continue;
+                }
+                let kind = scope_stack
+                    .last()
+                    .and_then(|s| SignalKind::parse(s))
+                    .unwrap_or(SignalKind::Wire);
+                let idx = t.declare(name, width, kind);
+                ids.push((id, Some(idx)));
+            }
+            "$enddefinitions" => {
+                for w in tokens.by_ref() {
+                    if w == "$end" {
+                        break;
+                    }
+                }
+                break;
+            }
+            other => return Err(format!("unexpected header token {other:?}")),
+        }
+    }
+
+    let mut t = trace.ok_or("no $scope in VCD")?;
+    let lookup = |id: &str, ids: &[(String, Option<usize>)]| -> Result<Option<usize>, String> {
+        ids.iter()
+            .find(|(i, _)| i == id)
+            .map(|(_, idx)| *idx)
+            .ok_or_else(|| format!("unknown id code {id:?}"))
+    };
+
+    // Value section: carry the previous cycle's values forward. The
+    // two-token `b<bits> <id>` form threads its bits through `pending_bits`
+    // to the id token of the next iteration.
+    let mut current: Vec<BigInt> = vec![BigInt::zero(); t.signals.len()];
+    let mut open = false;
+    let mut pending_bits: Option<BigInt> = None;
+    for tok in tokens {
+        if let Some(bits) = pending_bits.take() {
+            // The id token completing a `b<bits> <id>` pair — ids may start
+            // with any printable character, so this branch must come first.
+            if let Some(idx) = lookup(tok, &ids)? {
+                current[idx] = bits;
+            }
+        } else if let Some(ts) = tok.strip_prefix('#') {
+            let _cycle: u64 = ts.parse().map_err(|_| format!("bad timestamp {tok:?}"))?;
+            if open {
+                t.push_cycle(current.clone());
+            }
+            open = true;
+        } else if let Some(rest) = tok.strip_prefix('b') {
+            pending_bits = Some(
+                BigInt::from_str_radix(if rest.is_empty() { "0" } else { rest }, 2)
+                    .map_err(|_| format!("bad binary value {tok:?}"))?,
+            );
+        } else {
+            // Scalar form: `<0|1><id>`.
+            let mut chars = tok.chars();
+            let v = chars.next().ok_or("empty value token")?;
+            let id: String = chars.collect();
+            let bit = match v {
+                '0' => BigInt::zero(),
+                '1' => BigInt::one(),
+                _ => return Err(format!("unexpected value token {tok:?}")),
+            };
+            if let Some(idx) = lookup(&id, &ids)? {
+                current[idx] = bit;
+            }
+        }
+    }
+    if open {
+        t.push_cycle(current);
+    }
+    t.divergence = divergence;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mark_pair;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("chisel_interp");
+        t.declare("io_in", 4, SignalKind::Input);
+        t.declare("io_out", 5, SignalKind::Output);
+        t.declare("acc", 8, SignalKind::Register);
+        t.declare("tmp", 1, SignalKind::Wire);
+        for c in 0..3u64 {
+            t.push_cycle(vec![
+                BigInt::from(c + 1),
+                BigInt::from(2 * c),
+                BigInt::from(100 + c),
+                BigInt::from(c % 2),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn vcd_round_trip_preserves_names_widths_kinds_values() {
+        let t = sample();
+        let vcd = write_vcd(&t);
+        let back = parse_vcd(&vcd).expect("parses");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn divergence_marker_round_trips_and_pulses() {
+        let mut a = sample();
+        let mut b = sample();
+        b.cycles[1][2] = BigInt::from(199u64);
+        let d = mark_pair(&mut a, &mut b).expect("diverges");
+        assert_eq!((d.cycle, d.signal.as_str()), (1, "acc"));
+        let vcd = write_vcd(&b);
+        assert!(vcd.contains("divergence cycle=1 signal=acc expected=101 actual=199"));
+        assert!(vcd.contains(MARKER));
+        let back = parse_vcd(&vcd).expect("parses");
+        assert_eq!(back.divergence, b.divergence);
+        assert_eq!(back.cycles, b.cycles, "marker signal is not a data signal");
+    }
+
+    #[test]
+    fn binary_formatting_is_width_exact() {
+        assert_eq!(to_binary(&BigInt::from(5u64), 4), "0101");
+        assert_eq!(to_binary(&BigInt::from(0u64), 1), "0");
+        assert_eq!(to_binary(&BigInt::from(0xFFu64), 4), "1111", "masked to width");
+    }
+}

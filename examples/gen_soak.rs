@@ -36,6 +36,14 @@ fn json_report(report: &SoakReport, cfg: &SoakConfig) -> JsonValue {
                 .set("shrunk_nodes", JsonValue::int(d.shrunk_nodes))
                 .set("shrunk_message", JsonValue::str(&d.shrunk_message))
                 .set("shrunk_module", JsonValue::str(format!("{:?}", d.shrunk)))
+                .set("replay_line", JsonValue::str(d.replay_line()))
+                .set(
+                    "bundle",
+                    d.bundle
+                        .as_ref()
+                        .map(|p| JsonValue::str(p.display().to_string()))
+                        .unwrap_or(JsonValue::Null),
+                )
         })
         .collect();
     JsonValue::obj()
@@ -71,6 +79,10 @@ fn print_divergence(d: &gen::SoakDivergence) {
     eprintln!("  {}", d.corpus_line());
     eprintln!("  original: {} nodes: {}", d.original_nodes, d.message);
     eprintln!("  shrunk:   {} nodes: {}", d.shrunk_nodes, d.shrunk_message);
+    eprintln!("  replay:   {}", d.replay_line());
+    if let Some(bundle) = &d.bundle {
+        eprintln!("  bundle:   {}", bundle.display());
+    }
     eprintln!("  reproducer:\n{:#?}", d.shrunk);
 }
 

@@ -17,4 +17,5 @@ pub use chicala_par as par;
 pub use chicala_sat as sat;
 pub use chicala_seq as seq;
 pub use chicala_telemetry as telemetry;
+pub use chicala_trace as trace;
 pub use chicala_verify as verify;
