@@ -538,7 +538,10 @@ pub fn all_designs() -> Vec<Design> {
                 InputSpec { name: "io_b", nonzero: false },
             ],
             min_width: 1,
-            gate_max_width: 24,
+            // 24 before the AIG optimizer PR; the optimized prove path
+            // closes the miter structurally, so the ceiling is set by the
+            // (linear) netlist→AIG lowering cost, not by the solver.
+            gate_max_width: 32,
             latency: |w| w + 1,
             spec: rmul_spec,
             gate_spec: Some(rmul_gate),
@@ -551,7 +554,8 @@ pub fn all_designs() -> Vec<Design> {
                 InputSpec { name: "io_b", nonzero: false },
             ],
             min_width: 1,
-            gate_max_width: 16,
+            // 16 before the AIG optimizer PR (see `rmul`).
+            gate_max_width: 24,
             // Radix-4: one digit per cycle after the latch cycle.
             latency: |w| w / 2 + 2,
             spec: xmul_spec,
@@ -565,7 +569,8 @@ pub fn all_designs() -> Vec<Design> {
                 InputSpec { name: "io_d", nonzero: true },
             ],
             min_width: 1,
-            gate_max_width: 24,
+            // 24 before the AIG optimizer PR (see `rmul`).
+            gate_max_width: 32,
             latency: |w| w + 1,
             spec: rdiv_spec,
             gate_spec: Some(rdiv_gate),
@@ -578,7 +583,8 @@ pub fn all_designs() -> Vec<Design> {
                 InputSpec { name: "io_d", nonzero: true },
             ],
             min_width: 1,
-            gate_max_width: 24,
+            // 24 before the AIG optimizer PR (see `rmul`).
+            gate_max_width: 32,
             latency: |w| w + 1,
             spec: xdiv_spec,
             gate_spec: Some(xdiv_gate),

@@ -3,10 +3,11 @@
 //! inspection) — the low-level baseline whose cost grows with the bit
 //! width, motivating the paper's width-parametric approach.
 
-use crate::aig::{from_netlist, AIG_FALSE, AIG_TRUE};
+use crate::aig::{from_netlist, Aig, AigNode, AigRef, AIG_FALSE, AIG_TRUE};
 use crate::bitblast::{clamp, BitKit, BlastError, Blaster, Word};
-use crate::cnf::tseitin;
+use crate::cnf::tseitin_pg;
 use crate::netlist::{Gate, Net, Netlist};
+use crate::opt::{OptProfile, PassManager};
 use chicala_chisel::{ElabKind, ElabModule};
 use chicala_sat::{SatResult, Solver};
 use chicala_telemetry as telemetry;
@@ -204,6 +205,11 @@ impl ProveResult {
 /// BDD variable order for input nets (interleaving the operands of an
 /// arithmetic miter keeps BDDs polynomial where a bad order explodes) —
 /// input nets missing from it are ordered after the listed ones.
+///
+/// The self-certifying AIG optimizer ([`crate::opt`]) runs ahead of both
+/// engines under the environment profile ([`OptProfile::from_env`]:
+/// `CHICALA_OPT`, `CHICALA_OPT_CERT`); [`prove_net_with`] takes the
+/// profile explicitly.
 pub fn prove_net(
     nl: &Netlist,
     root: Net,
@@ -211,10 +217,160 @@ pub fn prove_net(
     width: usize,
     var_order: &[Net],
 ) -> ProveResult {
-    match backend.resolve(width) {
-        Backend::Bdd => prove_net_bdd(nl, root, var_order),
-        _ => prove_net_sat(nl, root),
+    prove_net_with(nl, root, backend, width, var_order, OptProfile::from_env())
+}
+
+/// [`prove_net`] with an explicit optimizer profile — the entry point the
+/// A/B bench uses to measure the optimizer's effect and the certification
+/// gates use to force `CertMode::Full`.
+///
+/// When a certified pass application *fails* its equivalence miter the
+/// optimizer's whole output is quarantined (discarded) and the proof is
+/// re-run on the unoptimized cone by the raw engines, so an optimizer bug
+/// can cost time but never soundness.
+pub fn prove_net_with(
+    nl: &Netlist,
+    root: Net,
+    backend: Backend,
+    width: usize,
+    var_order: &[Net],
+    opt: OptProfile,
+) -> ProveResult {
+    let resolved = backend.resolve(width);
+    if !opt.enabled {
+        return match resolved {
+            Backend::Bdd => prove_net_bdd(nl, root, var_order),
+            _ => prove_net_sat(nl, root),
+        };
     }
+    let _span = telemetry::span!("prove_net:opt");
+    let (aig, roots, input_map) = from_netlist(nl, &[root]);
+    telemetry::record("prove.aig_nodes", aig.and_count() as u64);
+    // Structural hashing alone closes many miters at lowering time (both
+    // sides hash to the same node, so the equivalence folds to a
+    // constant). There is nothing left to optimize *or* prove — skip the
+    // pipeline instead of paying it for a no-op.
+    if roots[0] == AIG_TRUE {
+        return ProveResult::Proved { backend: resolved };
+    }
+    if roots[0] == AIG_FALSE {
+        return ProveResult::Counterexample { backend: resolved, inputs: BTreeMap::new() };
+    }
+    let pm = PassManager::standard(width, opt.cert);
+    let out = match pm.run(aig, roots) {
+        Ok(out) => out,
+        Err(failure) => {
+            // A pass failed its own certificate: never use its output.
+            telemetry::counter("opt.cert.failed", 1);
+            let _ = failure;
+            return match resolved {
+                Backend::Bdd => prove_net_bdd(nl, root, var_order),
+                _ => prove_net_sat(nl, root),
+            };
+        }
+    };
+    telemetry::record("prove.aig_nodes_opt", out.aig.and_count() as u64);
+    let aroot = out.roots[0];
+    // Input nets, followed through the lowering and the whole pass
+    // pipeline to their final edges (absent: swept, a don't-care).
+    let final_inputs: Vec<(Net, AigRef)> = input_map
+        .iter()
+        .filter_map(|(net, r)| Aig::map_edge(&out.map, *r).map(|e| (*net, e)))
+        .collect();
+    if aroot == AIG_TRUE {
+        return ProveResult::Proved { backend: resolved };
+    }
+    if aroot == AIG_FALSE {
+        return ProveResult::Counterexample { backend: resolved, inputs: BTreeMap::new() };
+    }
+    match resolved {
+        Backend::Bdd => {
+            // Honour the requested input order on the optimized graph.
+            let node_of_net: BTreeMap<Net, u32> =
+                final_inputs.iter().map(|(n, e)| (*n, e.node())).collect();
+            let order: Vec<u32> =
+                var_order.iter().filter_map(|n| node_of_net.get(n).copied()).collect();
+            match aig_bdd_cex(&out.aig, aroot, &order) {
+                None => ProveResult::Proved { backend: Backend::Bdd },
+                Some(model) => {
+                    let inputs = final_inputs
+                        .iter()
+                        .filter_map(|(net, e)| {
+                            model.get(&e.node()).map(|&b| (*net, b ^ e.is_compl()))
+                        })
+                        .collect();
+                    ProveResult::Counterexample { backend: Backend::Bdd, inputs }
+                }
+            }
+        }
+        _ => {
+            let mut solver = Solver::new();
+            let enc = tseitin_pg(&out.aig, !aroot, &mut solver);
+            solver.add_clause(&[enc.lit]);
+            telemetry::record("prove.cnf_clauses", solver.num_clauses() as u64);
+            match solver.solve() {
+                SatResult::Unsat => ProveResult::Proved { backend: Backend::Sat },
+                SatResult::Sat(model) => {
+                    let inputs = final_inputs
+                        .iter()
+                        .map(|(net, e)| {
+                            let v = enc.var_of_node.get(&e.node());
+                            (*net, v.is_some_and(|v| model[*v as usize]) ^ e.is_compl())
+                        })
+                        .collect();
+                    ProveResult::Counterexample { backend: Backend::Sat, inputs }
+                }
+            }
+        }
+    }
+}
+
+/// BDD tautology check of an AIG edge: `None` when `root` is constant
+/// true, otherwise a falsifying assignment over the graph's input node
+/// ids. `var_order` lists input node ids to order first.
+fn aig_bdd_cex(aig: &Aig, root: AigRef, var_order: &[u32]) -> Option<BTreeMap<u32, bool>> {
+    let mut bdd = crate::bdd::Bdd::new();
+    let mut var_of_node: BTreeMap<u32, u32> = BTreeMap::new();
+    for (i, &n) in var_order.iter().enumerate() {
+        var_of_node.insert(n, i as u32);
+    }
+    let mut next_var = var_order.len() as u32;
+    let mut refs: Vec<crate::bdd::Ref> = Vec::with_capacity(aig.len());
+    for i in 0..aig.len() as u32 {
+        let r = match aig.node(AigRef::from_node(i)) {
+            AigNode::Const => crate::bdd::FALSE,
+            AigNode::Input => {
+                let v = *var_of_node.entry(i).or_insert_with(|| {
+                    let v = next_var;
+                    next_var += 1;
+                    v
+                });
+                bdd.var(v)
+            }
+            AigNode::And(x, y) => {
+                let vx = refs[x.node() as usize];
+                let vx = if x.is_compl() { bdd.not(vx) } else { vx };
+                let vy = refs[y.node() as usize];
+                let vy = if y.is_compl() { bdd.not(vy) } else { vy };
+                bdd.and(vx, vy)
+            }
+        };
+        refs.push(r);
+    }
+    telemetry::record("prove.bdd_nodes", bdd.node_count() as u64);
+    let r = refs[root.node() as usize];
+    let r = if root.is_compl() { bdd.not(r) } else { r };
+    if bdd.is_true(r) {
+        return None;
+    }
+    let nr = bdd.not(r);
+    let sat = bdd.any_sat(nr).expect("non-true BDD has a falsifying assignment");
+    let node_of_var: BTreeMap<u32, u32> = var_of_node.iter().map(|(n, v)| (*v, *n)).collect();
+    Some(
+        sat.into_iter()
+            .filter_map(|(v, b)| node_of_var.get(&v).map(|n| (*n, b)))
+            .collect(),
+    )
 }
 
 /// BDD engine: evaluates the cone of `root` topologically into a fresh
@@ -314,8 +470,11 @@ pub fn prove_net_sat(nl: &Netlist, root: Net) -> ProveResult {
         return ProveResult::Counterexample { backend: Backend::Sat, inputs: BTreeMap::new() };
     }
     let mut solver = Solver::new();
-    let enc = tseitin(&aig, aroot, &mut solver);
-    solver.add_clause(&[!enc.lit]);
+    // Plaisted–Greenbaum, seeded from the edge actually asserted (the
+    // property's negation): single-polarity nodes get 1–2 clauses, not 3.
+    let enc = tseitin_pg(&aig, !aroot, &mut solver);
+    solver.add_clause(&[enc.lit]);
+    telemetry::record("prove.cnf_clauses", solver.num_clauses() as u64);
     let result = solver.solve();
     let st = solver.stats();
     telemetry::counter("sat.decisions", st.decisions);
@@ -448,6 +607,39 @@ mod tests {
                     assert!(
                         !vals[eq.0 as usize],
                         "{backend:?} returned a non-falsifying counterexample"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_and_raw_paths_agree() {
+        // The same obligations, proved with the optimizer forced on (full
+        // certification) and forced off, must agree — and counterexamples
+        // from the optimized path must falsify the *original* netlist.
+        let mut nl = crate::netlist::Netlist::new();
+        let w = 5usize;
+        let a = Word { bits: (0..w).map(|_| nl.input()).collect::<Vec<_>>(), signed: false };
+        let b = Word { bits: (0..w).map(|_| nl.input()).collect::<Vec<_>>(), signed: false };
+        let ab = add_words(&mut nl, &a, &b, w);
+        let ba = add_words(&mut nl, &b, &a, w);
+        let valid = nets_equal(&mut nl, &ab, &ba);
+        let shifted = crate::bitblast::add_words(&mut nl, &ab, &a.clone(), w);
+        let invalid = nets_equal(&mut nl, &ab, &shifted); // fails when a ≠ 0
+        for backend in [Backend::Bdd, Backend::Sat] {
+            let opt = prove_net_with(&nl, valid, backend, w, &[], crate::opt::OptProfile::full_cert());
+            let raw = prove_net_with(&nl, valid, backend, w, &[], crate::opt::OptProfile::off());
+            assert!(opt.is_proved(), "{backend:?} optimized");
+            assert!(raw.is_proved(), "{backend:?} raw");
+            match prove_net_with(&nl, invalid, backend, w, &[], crate::opt::OptProfile::full_cert())
+            {
+                ProveResult::Proved { .. } => panic!("{backend:?}: a+b == a+b+a is not valid"),
+                ProveResult::Counterexample { inputs, .. } => {
+                    let vals = nl.eval(&|net| inputs.get(&net).copied().unwrap_or(false));
+                    assert!(
+                        !vals[invalid.0 as usize],
+                        "{backend:?}: optimized-path counterexample must be real"
                     );
                 }
             }

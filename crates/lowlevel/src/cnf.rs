@@ -1,11 +1,21 @@
 //! Tseitin CNF emission: encodes an [`Aig`] cone into a
 //! [`chicala_sat::Solver`].
 //!
-//! Each AND node in the cone of the requested root gets a fresh solver
-//! variable with the standard three clauses
-//! `(¬n ∨ x) (¬n ∨ y) (¬x ∨ ¬y ∨ n)`; inputs get plain variables.
+//! [`tseitin`] is the classic full encoding: each AND node in the cone of
+//! the requested root gets a fresh solver variable with the standard three
+//! clauses `(¬n ∨ x) (¬n ∨ y) (¬x ∨ ¬y ∨ n)`; inputs get plain variables.
 //! Encoding is restricted to the cone of influence, so dead logic in the
 //! graph costs no clauses.
+//!
+//! [`tseitin_pg`] is the polarity-aware Plaisted–Greenbaum refinement the
+//! SAT prove path uses: polarities are seeded from the edge the caller
+//! will assert and pushed down through complement edges, and each node
+//! only receives the implication clauses its polarities require —
+//! `(¬n ∨ x) (¬n ∨ y)` where the node occurs positively, `(¬x ∨ ¬y ∨ n)`
+//! where it occurs negatively. Single-polarity nodes (the vast majority of
+//! a miter cone) cost one or two clauses instead of three, models still
+//! project soundly onto the input variables, and nodes the AIG front-end
+//! folded to constants never reach the encoder at all.
 
 use crate::aig::{Aig, AigNode, AigRef};
 use chicala_sat::{Lit, Solver, Var};
@@ -72,6 +82,78 @@ pub fn tseitin(aig: &Aig, root: AigRef, solver: &mut Solver) -> CnfRoot {
     CnfRoot { lit: lit_of(&var_of_node, root), var_of_node }
 }
 
+/// Polarity marks: bit 0 = occurs positively, bit 1 = occurs negatively.
+const POS: u8 = 1;
+const NEG: u8 = 2;
+
+/// Plaisted–Greenbaum encoding of the cone of `root`, where `root` is the
+/// edge the caller intends to **assert** (add as a unit clause). Nodes
+/// only get the implication clauses their occurrence polarities demand, so
+/// single-polarity nodes cost 1–2 clauses against full Tseitin's 3.
+///
+/// The resulting formula is equisatisfiable with the asserted root, and a
+/// model's values on *input* variables always extend to the asserted
+/// constraint — counterexample decoding is unchanged. Internal node
+/// variables of the model are only constrained in the asserted direction,
+/// so callers must not read them as circuit values (the prove path only
+/// reads inputs).
+pub fn tseitin_pg(aig: &Aig, root: AigRef, solver: &mut Solver) -> CnfRoot {
+    let mut pol = vec![0u8; aig.len()];
+    let seed = if root.is_compl() { NEG } else { POS };
+    let mut stack: Vec<(u32, u8)> = vec![(root.node(), seed)];
+    while let Some((n, p)) = stack.pop() {
+        if pol[n as usize] & p != 0 {
+            continue;
+        }
+        pol[n as usize] |= p;
+        if let AigNode::And(x, y) = aig.node(AigRef::from_node(n)) {
+            for e in [x, y] {
+                let cp = if e.is_compl() { p ^ (POS | NEG) } else { p };
+                stack.push((e.node(), cp));
+            }
+        }
+    }
+    let mut var_of_node: HashMap<u32, Var> = HashMap::new();
+    let lit_of = |var_of_node: &HashMap<u32, Var>, r: AigRef| -> Lit {
+        let v = var_of_node[&r.node()];
+        if r.is_compl() {
+            Lit::neg(v)
+        } else {
+            Lit::pos(v)
+        }
+    };
+    for i in 0..aig.len() as u32 {
+        let p = pol[i as usize];
+        if p == 0 {
+            continue;
+        }
+        let v = solver.new_var();
+        var_of_node.insert(i, v);
+        match aig.node(AigRef::from_node(i)) {
+            AigNode::Const => {
+                // Node 0 is the false constant; pin it in both polarities
+                // (one unit clause — cheaper than reasoning about which
+                // direction the cone needs).
+                solver.add_clause(&[Lit::neg(v)]);
+            }
+            AigNode::Input => {}
+            AigNode::And(x, y) => {
+                let lx = lit_of(&var_of_node, x);
+                let ly = lit_of(&var_of_node, y);
+                let ln = Lit::pos(v);
+                if p & POS != 0 {
+                    solver.add_clause(&[!ln, lx]);
+                    solver.add_clause(&[!ln, ly]);
+                }
+                if p & NEG != 0 {
+                    solver.add_clause(&[!lx, !ly, ln]);
+                }
+            }
+        }
+    }
+    CnfRoot { lit: lit_of(&var_of_node, root), var_of_node }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +205,86 @@ mod tests {
         let enc = tseitin(&g, miter, &mut s);
         s.add_clause(&[enc.lit]);
         assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pg_emits_strictly_fewer_clauses_on_single_polarity_cones() {
+        // A deep xor chain seen through one root polarity: most nodes are
+        // single-polarity, so Plaisted–Greenbaum must beat full Tseitin's
+        // 3-clauses-per-AND. (A/B on the same graph and root.)
+        let mut g = Aig::new();
+        let mut acc = g.input();
+        for _ in 0..10 {
+            let x = g.input();
+            acc = g.xor(acc, x);
+        }
+        let mut full = Solver::new();
+        let _ = tseitin(&g, acc, &mut full);
+        let mut pg = Solver::new();
+        let _ = tseitin_pg(&g, acc, &mut pg);
+        assert!(
+            pg.num_clauses() < full.num_clauses(),
+            "PG {} clauses vs full Tseitin {}",
+            pg.num_clauses(),
+            full.num_clauses()
+        );
+    }
+
+    #[test]
+    fn pg_and_full_tseitin_agree_on_random_cones() {
+        // Pseudo-random dags: for each root polarity, the PG encoding must
+        // be satisfiable exactly when the function (exhaustively evaluated)
+        // has a satisfying assignment, and returned models must evaluate
+        // to the asserted value on the original graph.
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..20 {
+            let mut g = Aig::new();
+            let inputs: Vec<AigRef> = (0..6).map(|_| g.input()).collect();
+            let mut pool = inputs.clone();
+            for _ in 0..30 {
+                let a = pool[(rng() % pool.len() as u64) as usize];
+                let b = pool[(rng() % pool.len() as u64) as usize];
+                let a = if rng() % 2 == 0 { !a } else { a };
+                let n = match rng() % 3 {
+                    0 => g.and(a, b),
+                    1 => g.or(a, b),
+                    _ => g.xor(a, b),
+                };
+                pool.push(n);
+            }
+            let base = *pool.last().expect("nonempty");
+            for root in [base, !base] {
+                if root.node() == 0 {
+                    continue; // constant cones are covered elsewhere
+                }
+                let truly_sat = (0..64u32)
+                    .any(|bits| g.eval(root, &|n| bits >> (n - 1) & 1 == 1));
+                let mut s = Solver::new();
+                let enc = tseitin_pg(&g, root, &mut s);
+                s.add_clause(&[enc.lit]);
+                match s.solve() {
+                    SatResult::Sat(m) => {
+                        assert!(truly_sat, "case {case}: PG found a model of an unsat cone");
+                        // The model's *input* values must satisfy the root.
+                        let val = g.eval(root, &|n| {
+                            enc.var_of_node
+                                .get(&n)
+                                .is_some_and(|v| m[*v as usize])
+                        });
+                        assert!(val, "case {case}: PG model does not satisfy the root");
+                    }
+                    SatResult::Unsat => {
+                        assert!(!truly_sat, "case {case}: PG missed a satisfying assignment");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod bitblast;
 pub mod check;
 pub mod cnf;
 pub mod netlist;
+pub mod opt;
 pub mod verilog;
 
 pub use aig::{from_netlist, Aig, AigNode, AigRef, AIG_FALSE, AIG_TRUE};
@@ -19,9 +20,14 @@ pub use bitblast::{
     sub_words, BitKit, BlastError, Blaster, Word,
 };
 pub use check::{
-    fresh_inputs, implies_net, nets_equal, prove_net, prove_net_bdd, prove_net_sat, unroll,
-    words_equal, Backend, ProveResult, UnrolledState, AUTO_SAT_CROSSOVER_WIDTH,
+    fresh_inputs, implies_net, nets_equal, prove_net, prove_net_bdd, prove_net_sat,
+    prove_net_with, unroll, words_equal, Backend, ProveResult, UnrolledState,
+    AUTO_SAT_CROSSOVER_WIDTH,
 };
-pub use cnf::{tseitin, CnfRoot};
+pub use cnf::{tseitin, tseitin_pg, CnfRoot};
 pub use netlist::{Gate, Net, Netlist};
+pub use opt::{
+    certify, Balance, CertFailure, CertMode, OptOutcome, OptProfile, Pass, PassManager, PassStats,
+    Resub, Rewrite, Sweep,
+};
 pub use verilog::{emit_verilog, verilog_loc};

@@ -1,0 +1,284 @@
+//! Balanced restructuring of AND and XOR chains.
+//!
+//! Arithmetic miters are full of operator chains that the two halves
+//! associate differently — a left-fold of partial products on one side, a
+//! right-fold (or a reversed loop) on the other. Structural hashing cannot
+//! merge `((a∧b)∧c)` with `(a∧(b∧c))`, so the chains survive to the SAT
+//! engine as disjoint cones. This pass flattens maximal single-fanout
+//! AND chains (OR chains arrive as AND chains by De Morgan) and XOR
+//! chains (recognised from their 3-AND lowering) into leaf multisets,
+//! normalises them (sorting, idempotence/cancellation, parity), and
+//! rebuilds each as a *leaf-sorted balanced tree* — both halves of a miter
+//! then rebuild into the identical tree and strash merges them node for
+//! node.
+//!
+//! Chains are only flattened through interior nodes with no other fanout
+//! (counting root references), so shared subterms keep their sharing; a
+//! rebuild that loses sharing anyway is caught by the pass manager's
+//! node-count budget.
+
+use super::Pass;
+use crate::aig::{Aig, AigNode, AigRef, AIG_FALSE, AIG_TRUE};
+use std::collections::HashMap;
+
+/// The chain-balancing pass.
+#[derive(Default)]
+pub struct Balance;
+
+/// Per-node facts about the *old* graph the pass consults while emitting.
+struct OldFacts {
+    /// Fanout count per node (AND parents within the cone + root uses).
+    refs: Vec<u32>,
+    /// `Some((p, q))` when the node is the top AND of an XOR lowering
+    /// `¬(p∧q) ∧ ¬(¬p∧¬q)` — i.e. the node computes `p ⊕ q`.
+    xor_ops: Vec<Option<(AigRef, AigRef)>>,
+}
+
+impl OldFacts {
+    fn build(aig: &Aig, roots: &[AigRef]) -> OldFacts {
+        let in_cone = aig.cone(roots);
+        let mut refs = vec![0u32; aig.len()];
+        let mut xor_ops = vec![None; aig.len()];
+        for (i, &cone) in in_cone.iter().enumerate() {
+            if !cone {
+                continue;
+            }
+            let r = AigRef::from_node(i as u32);
+            if let AigNode::And(c1, c2) = aig.node(r) {
+                refs[c1.node() as usize] += 1;
+                refs[c2.node() as usize] += 1;
+                if c1.is_compl() && c2.is_compl() {
+                    if let (Some((p, q)), Some((u, v))) =
+                        (aig.and_children(!c1), aig.and_children(!c2))
+                    {
+                        if (u == !p && v == !q) || (u == !q && v == !p) {
+                            xor_ops[i] = Some((p, q));
+                        }
+                    }
+                }
+            }
+        }
+        for r in roots {
+            refs[r.node() as usize] += 1;
+        }
+        OldFacts { refs, xor_ops }
+    }
+
+    /// Whether a chain may be flattened *through* this old edge: an
+    /// uncomplemented AND used nowhere else.
+    fn inlinable(&self, aig: &Aig, e: AigRef) -> bool {
+        !e.is_compl()
+            && matches!(aig.node(e), AigNode::And(_, _))
+            && self.refs[e.node() as usize] == 1
+    }
+}
+
+/// Collects the AND-chain leaves of old edge `e` (old edges out).
+fn and_leaves(aig: &Aig, facts: &OldFacts, e: AigRef, out: &mut Vec<AigRef>) {
+    // Do not dissolve an XOR lowering into its raw NAND legs — the XOR
+    // balancer owns that shape.
+    if facts.inlinable(aig, e) && facts.xor_ops[e.node() as usize].is_none() {
+        if let Some((x, y)) = aig.and_children(e) {
+            and_leaves(aig, facts, x, out);
+            and_leaves(aig, facts, y, out);
+            return;
+        }
+    }
+    out.push(e);
+}
+
+/// Collects the XOR-chain leaves under old edge `e`, folding edge
+/// complements into the running parity.
+fn xor_leaves(facts: &OldFacts, e: AigRef, out: &mut Vec<AigRef>, parity: &mut bool) {
+    *parity ^= e.is_compl();
+    let plain = if e.is_compl() { !e } else { e };
+    if let Some((p, q)) = facts.xor_ops[plain.node() as usize] {
+        // A sub-XOR's node is referenced by both NAND legs of its parent,
+        // so "no other fanout" is exactly two references.
+        if facts.refs[plain.node() as usize] <= 2 {
+            xor_leaves(facts, p, out, parity);
+            xor_leaves(facts, q, out, parity);
+            return;
+        }
+    }
+    out.push(plain);
+}
+
+/// Maps old leaf edges into the new graph and reduces them as a balanced
+/// sorted tree under `op`.
+fn balanced<F>(
+    leaves: &[AigRef],
+    map: &HashMap<u32, AigRef>,
+    out: &mut Aig,
+    unit: AigRef,
+    mut op: F,
+) -> AigRef
+where
+    F: FnMut(&mut Aig, AigRef, AigRef) -> AigRef,
+{
+    let mut layer: Vec<AigRef> = leaves
+        .iter()
+        .map(|&l| Aig::map_edge(map, l).expect("chain leaf precedes its chain top"))
+        .collect();
+    // Sorting by new edge id makes both miter halves produce the same
+    // layer, and puts duplicate / complementary leaves adjacent where the
+    // front-end rules cancel them.
+    layer.sort_unstable();
+    if layer.is_empty() {
+        return unit;
+    }
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 { op(out, pair[0], pair[1]) } else { pair[0] });
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+impl Pass for Balance {
+    fn name(&self) -> &'static str {
+        "balance"
+    }
+
+    fn run(&self, aig: &Aig, roots: &[AigRef]) -> (Aig, Vec<AigRef>, HashMap<u32, AigRef>) {
+        let facts = OldFacts::build(aig, roots);
+        aig.rebuild_with(roots, |out, old, ex, ey, map| {
+            let old_ref = AigRef::from_node(old);
+            if let Some((p, q)) = facts.xor_ops[old as usize] {
+                // Treat this node as a chain *top*: flatten its operands
+                // and rebuild the whole XOR chain balanced.
+                let mut leaves = Vec::new();
+                let mut parity = false;
+                xor_leaves(&facts, p, &mut leaves, &mut parity);
+                xor_leaves(&facts, q, &mut leaves, &mut parity);
+                let base = balanced(&leaves, map, out, AIG_FALSE, |g, a, b| g.xor(a, b));
+                return if parity { !base } else { base };
+            }
+            // Plain AND: flatten the maximal single-fanout chain this node
+            // tops (every AND is a candidate top — its own fanout doesn't
+            // matter, only its children's). Interior chain nodes reach
+            // here too, but their partial rebuilds are orphaned and swept
+            // once the top node re-ands the full leaf set.
+            if let Some((x, y)) = aig.and_children(old_ref) {
+                let mut leaves = Vec::new();
+                and_leaves(aig, &facts, x, &mut leaves);
+                and_leaves(aig, &facts, y, &mut leaves);
+                if leaves.len() > 2 {
+                    return balanced(&leaves, map, out, AIG_TRUE, |g, a, b| g.and(a, b));
+                }
+            }
+            out.and(ex, ey)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_and(g: &mut Aig, items: &[AigRef], left: bool) -> AigRef {
+        if left {
+            items[1..].iter().fold(items[0], |acc, &x| g.and(acc, x))
+        } else {
+            let mut acc = *items.last().expect("nonempty");
+            for &x in items[..items.len() - 1].iter().rev() {
+                acc = g.and(x, acc);
+            }
+            acc
+        }
+    }
+
+    fn chain_xor(g: &mut Aig, items: &[AigRef], left: bool) -> AigRef {
+        if left {
+            items[1..].iter().fold(items[0], |acc, &x| g.xor(acc, x))
+        } else {
+            let mut acc = *items.last().expect("nonempty");
+            for &x in items[..items.len() - 1].iter().rev() {
+                acc = g.xor(x, acc);
+            }
+            acc
+        }
+    }
+
+    #[test]
+    fn differently_associated_and_chains_merge() {
+        let mut g = Aig::new();
+        let ins: Vec<AigRef> = (0..6).map(|_| g.input()).collect();
+        let l = chain_and(&mut g, &ins, true);
+        let r = chain_and(&mut g, &ins, false);
+        assert_ne!(l, r, "strash alone must not merge the associations");
+        let (out, roots, _) = Balance.run(&g, &[l, r]);
+        assert_eq!(roots[0], roots[1], "balanced rebuilds collapse into one tree");
+        assert_eq!(out.and_count(), 5, "one 6-leaf tree: {out:?}");
+    }
+
+    #[test]
+    fn differently_associated_xor_chains_merge() {
+        let mut g = Aig::new();
+        let ins: Vec<AigRef> = (0..5).map(|_| g.input()).collect();
+        let l = chain_xor(&mut g, &ins, true);
+        let r = chain_xor(&mut g, &ins, false);
+        assert_ne!(l, r);
+        let n0 = g.and_count();
+        let (out, roots, _) = Balance.run(&g, &[l, r]);
+        assert_eq!(roots[0], roots[1], "xor chains rebuild identically");
+        assert!(out.and_count() < n0, "{} -> {}", n0, out.and_count());
+    }
+
+    #[test]
+    fn xor_cancellation_and_parity() {
+        // x ⊕ y ⊕ x = y, and ¬(x ⊕ y) ⊕ x folds through parity to ¬y.
+        let mut g = Aig::new();
+        let x = g.input();
+        let y = g.input();
+        let a = g.xor(x, y);
+        let b = g.xor(a, x);
+        let (out, roots, map) = Balance.run(&g, &[b]);
+        let ny = Aig::map_edge(&map, y).expect("y survives");
+        assert_eq!(roots[0], ny, "x⊕y⊕x = y; got {:?} in {out:?}", roots[0]);
+        let mut g2 = Aig::new();
+        let x2 = g2.input();
+        let y2 = g2.input();
+        let a2 = g2.xor(x2, y2);
+        let b2 = g2.xor(!a2, x2);
+        let (_, roots2, map2) = Balance.run(&g2, &[b2]);
+        let ny2 = Aig::map_edge(&map2, y2).expect("y survives");
+        assert_eq!(roots2[0], !ny2, "¬(x⊕y)⊕x = ¬y");
+    }
+
+    #[test]
+    fn shared_interior_nodes_are_not_dissolved() {
+        // The interior a∧b has a second fanout, so flattening must stop
+        // there and the sharing survive.
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        let (out, roots, map) = Balance.run(&g, &[abc, ab]);
+        let nab = Aig::map_edge(&map, ab).expect("shared node survives");
+        assert_eq!(roots[1], nab);
+        assert_eq!(out.and_count(), 2, "no duplication of the shared cone");
+    }
+
+    #[test]
+    fn semantics_preserved_on_mixed_chains() {
+        let mut g = Aig::new();
+        let ins: Vec<AigRef> = (0..6).map(|_| g.input()).collect();
+        let l = chain_xor(&mut g, &ins[..4], true);
+        let r = chain_and(&mut g, &ins[2..], false);
+        let root = g.and(l, !r);
+        let (out, roots, map) = Balance.run(&g, &[root]);
+        let inv: HashMap<u32, u32> = (1..=6u32)
+            .filter_map(|i| map.get(&i).map(|e| (e.node(), i)))
+            .collect();
+        for bits in 0..64u32 {
+            let want = g.eval(root, &|n| bits >> (n - 1) & 1 == 1);
+            let got = out.eval(roots[0], &|n| bits >> (inv[&n] - 1) & 1 == 1);
+            assert_eq!(got, want, "assignment {bits:06b}");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Pass self-certification: pre/post equivalence miters.
+//!
+//! After a pass rebuilds a cone, the manager can demand proof: both graphs
+//! are lowered into one combined [`Netlist`] over *shared* primary inputs
+//! (the pass's old-node → new-edge map ties each post-graph input back to
+//! its pre-graph original), the miter `∧ᵢ ¬(preᵢ ⊕ postᵢ)` is built over
+//! the root pairs, and the net is discharged by the **raw** BDD/SAT
+//! engines — never through the optimizer itself, so a miscompiling pass
+//! cannot vouch for its own output. This is the same "verify the artifact,
+//! not the tool" stance the kernel takes for the arithmetic designs,
+//! turned inward.
+//!
+//! The combined netlist is cheap: the netlist's structural hashing merges
+//! whatever structure the pass left unchanged, so the miter only pays for
+//! the rewritten region.
+
+use crate::aig::{Aig, AigNode, AigRef};
+use crate::bitblast::BitKit;
+use crate::check::{prove_net_bdd, prove_net_sat, ProveResult, AUTO_SAT_CROSSOVER_WIDTH};
+use crate::netlist::{Net, Netlist};
+use chicala_telemetry as telemetry;
+use std::collections::HashMap;
+
+/// A certified pass application that *failed*: the pass changed the
+/// function of the cone.
+#[derive(Clone, Debug)]
+pub struct CertFailure {
+    /// The offending pass (filled in by the pass manager).
+    pub pass: &'static str,
+    /// A falsifying assignment over the pre-graph's input node ids
+    /// (every cone input listed; inputs the engine left free default to
+    /// false).
+    pub inputs: Vec<(u32, bool)>,
+}
+
+impl CertFailure {
+    /// Attributes the failure to a pass.
+    pub fn for_pass(mut self, pass: &'static str) -> CertFailure {
+        self.pass = pass;
+        self
+    }
+}
+
+impl std::fmt::Display for CertFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "optimizer pass '{}' miscompiled its cone: pre/post miter falsified at {:?}",
+            self.pass, self.inputs
+        )
+    }
+}
+
+impl std::error::Error for CertFailure {}
+
+/// Lowers the cone of `roots` into `nl`, resolving each AIG input node
+/// through `input_net`.
+fn lower(
+    aig: &Aig,
+    roots: &[AigRef],
+    nl: &mut Netlist,
+    input_net: &mut dyn FnMut(&mut Netlist, u32) -> Net,
+) -> Vec<Net> {
+    let mut net_of: HashMap<u32, Net> = HashMap::new();
+    let mut in_cone = vec![false; aig.len()];
+    let mut stack: Vec<u32> = roots.iter().map(|r| r.node()).collect();
+    while let Some(n) = stack.pop() {
+        if std::mem::replace(&mut in_cone[n as usize], true) {
+            continue;
+        }
+        if let AigNode::And(x, y) = aig.node(AigRef::from_node(n)) {
+            stack.push(x.node());
+            stack.push(y.node());
+        }
+    }
+    for (i, &cone) in in_cone.iter().enumerate() {
+        if !cone {
+            continue;
+        }
+        let r = AigRef::from_node(i as u32);
+        let net = match aig.node(r) {
+            AigNode::Const => nl.constant(false),
+            AigNode::Input => input_net(nl, i as u32),
+            AigNode::And(x, y) => {
+                let ex = edge_net(nl, &net_of, x);
+                let ey = edge_net(nl, &net_of, y);
+                nl.and(ex, ey)
+            }
+        };
+        net_of.insert(i as u32, net);
+    }
+    roots.iter().map(|r| edge_net(nl, &net_of, *r)).collect()
+}
+
+fn edge_net(nl: &mut Netlist, net_of: &HashMap<u32, Net>, e: AigRef) -> Net {
+    let base = net_of[&e.node()];
+    if e.is_compl() {
+        nl.not(base)
+    } else {
+        base
+    }
+}
+
+/// Proves that `post` (under `post_roots`) computes the same functions as
+/// `pre` (under `pre_roots`), where `map` carries pre-graph nodes to
+/// post-graph edges (at minimum covering the cone inputs).
+///
+/// `width` picks the discharging engine the same way [`crate::check::Backend::Auto`]
+/// does: BDD at or below [`AUTO_SAT_CROSSOVER_WIDTH`], SAT above.
+///
+/// # Errors
+///
+/// [`CertFailure`] (with an empty pass attribution) when the miter is
+/// falsifiable; the assignment is given over pre-graph input node ids.
+pub fn certify(
+    pre: &Aig,
+    pre_roots: &[AigRef],
+    post: &Aig,
+    post_roots: &[AigRef],
+    map: &HashMap<u32, AigRef>,
+    width: usize,
+) -> Result<(), CertFailure> {
+    let _span = telemetry::span!("opt:certify");
+    assert_eq!(pre_roots.len(), post_roots.len(), "root lists must pair up");
+    let mut nl = Netlist::new();
+    // Lower the pre graph, creating one shared netlist input per pre-cone
+    // input node.
+    let mut net_of_pre_input: HashMap<u32, Net> = HashMap::new();
+    let pre_nets = lower(pre, pre_roots, &mut nl, &mut |nl, node| {
+        *net_of_pre_input.entry(node).or_insert_with(|| nl.input())
+    });
+    // Tie each post-graph input back to its pre-graph original through the
+    // pass's map: map[p] = e means pre node p ≡ post edge e, so a post
+    // input node is driven by the (possibly inverted) shared net.
+    let mut post_input_src: HashMap<u32, (Net, bool)> = HashMap::new();
+    for (&p, &net) in &net_of_pre_input {
+        if let Some(e) = map.get(&p) {
+            if matches!(post.node(*e), AigNode::Input) {
+                post_input_src.insert(e.node(), (net, e.is_compl()));
+            }
+        }
+    }
+    let post_nets = lower(post, post_roots, &mut nl, &mut |nl, node| {
+        let (net, inverted) = *post_input_src
+            .get(&node)
+            .expect("post-graph input has a pre-image through the pass map");
+        if inverted {
+            nl.not(net)
+        } else {
+            net
+        }
+    });
+    // The miter: every root pair agrees.
+    let mut prop = nl.constant(true);
+    for (a, b) in pre_nets.iter().zip(&post_nets) {
+        let ne = nl.xor(*a, *b);
+        let eq = nl.not(ne);
+        prop = nl.and(prop, eq);
+    }
+    let result = if width <= AUTO_SAT_CROSSOVER_WIDTH {
+        prove_net_bdd(&nl, prop, &[])
+    } else {
+        prove_net_sat(&nl, prop)
+    };
+    match result {
+        ProveResult::Proved { .. } => Ok(()),
+        ProveResult::Counterexample { inputs, .. } => {
+            let mut assignment: Vec<(u32, bool)> = net_of_pre_input
+                .iter()
+                .map(|(&node, net)| (node, inputs.get(net).copied().unwrap_or(false)))
+                .collect();
+            assignment.sort_unstable();
+            Err(CertFailure { pass: "", inputs: assignment })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::AIG_TRUE;
+
+    /// pre: or(x, y); post built as ¬(¬x ∧ ¬y) — equal functions.
+    fn equal_pair() -> (Aig, Vec<AigRef>, Aig, Vec<AigRef>, HashMap<u32, AigRef>) {
+        let mut pre = Aig::new();
+        let x = pre.input();
+        let y = pre.input();
+        let pr = pre.or(x, y);
+        let mut post = Aig::new();
+        let px = post.input();
+        let py = post.input();
+        let inner = post.and(!px, !py);
+        let map = HashMap::from([(x.node(), px), (y.node(), py)]);
+        (pre, vec![pr], post, vec![!inner], map)
+    }
+
+    #[test]
+    fn equivalent_rebuild_certifies_on_both_engines() {
+        let (pre, pre_r, post, post_r, map) = equal_pair();
+        // Width 2 → BDD engine; width 8 → SAT engine.
+        certify(&pre, &pre_r, &post, &post_r, &map, 2).expect("BDD certifies");
+        certify(&pre, &pre_r, &post, &post_r, &map, 8).expect("SAT certifies");
+    }
+
+    #[test]
+    fn miscompiled_rebuild_is_rejected_with_a_real_counterexample() {
+        // pre: x ∧ y; "post": x ∨ y. Differs whenever exactly one is set.
+        let mut pre = Aig::new();
+        let x = pre.input();
+        let y = pre.input();
+        let pr = pre.and(x, y);
+        let mut post = Aig::new();
+        let px = post.input();
+        let py = post.input();
+        let qr = post.or(px, py);
+        let map = HashMap::from([(x.node(), px), (y.node(), py)]);
+        for width in [2, 8] {
+            let err = certify(&pre, &[pr], &post, &[qr], &map, width)
+                .expect_err("and vs or must be caught")
+                .for_pass("unit-test");
+            assert_eq!(err.pass, "unit-test");
+            let a: HashMap<u32, bool> = err.inputs.iter().copied().collect();
+            let vx = a[&x.node()];
+            let vy = a[&y.node()];
+            assert_ne!(vx && vy, vx || vy, "cex must separate and from or: {err}");
+        }
+    }
+
+    #[test]
+    fn inverted_input_maps_are_honoured() {
+        // A (hypothetical) pass that maps pre input x to ¬x' is still
+        // certified correctly as long as the map says so.
+        let mut pre = Aig::new();
+        let x = pre.input();
+        let y = pre.input();
+        let pr = pre.and(x, y);
+        let mut post = Aig::new();
+        let px = post.input();
+        let py = post.input();
+        let qr = post.and(!px, py); // ¬x' ∧ y with x ≡ ¬x'
+        let map = HashMap::from([(x.node(), !px), (y.node(), py)]);
+        certify(&pre, &[pr], &post, &[qr], &map, 2).expect("inverted map certifies");
+    }
+
+    #[test]
+    fn constant_roots_certify() {
+        let pre = Aig::new();
+        let post = Aig::new();
+        certify(&pre, &[AIG_TRUE], &post, &[AIG_TRUE], &HashMap::new(), 2)
+            .expect("constant roots");
+    }
+}

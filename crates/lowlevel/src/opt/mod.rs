@@ -1,0 +1,479 @@
+//! The self-certifying AIG optimizer: a pass framework that shrinks miter
+//! cones *before* they reach the BDD or SAT engine, where every pass
+//! application can prove its own correctness with the very backends it is
+//! accelerating.
+//!
+//! The pipeline ([`PassManager::standard`]) runs four passes to a fixpoint
+//! under a node-count-must-not-grow budget:
+//!
+//! * [`Sweep`] — constant propagation plus dangling-node garbage
+//!   collection (a cone-restricted [`Aig::rehash`]);
+//! * [`Rewrite`] — strash-aware local rewriting extending the
+//!   Brummayer–Biere one/two-level rules to 3-input shapes (shared-child
+//!   absorption, NAND substitution, resolution);
+//! * [`Balance`] — flattens AND and XOR chains and rebuilds them as
+//!   leaf-sorted balanced trees, so the two halves of a miter that
+//!   associate the same reduction differently collapse into one subgraph;
+//! * [`Resub`] — cut-based resubstitution: enumerates ≤4-input cuts with
+//!   truth tables and replaces any node that recomputes a function some
+//!   earlier node already provides.
+//!
+//! The self-certifying part: after each accepted pass application the
+//! manager can emit an equivalence miter between the pre- and post-pass
+//! graphs over the shared primary inputs and discharge it with the raw
+//! (unoptimized) BDD/SAT engines — the same "verify the artifact, not the
+//! tool" stance the kernel takes for arithmetic proofs. The
+//! `CHICALA_OPT_CERT` knob (`off` | `sampled` | `full`) trades
+//! certification cost against coverage; `sampled` (the default) certifies
+//! a deterministic subset of applications.
+
+mod balance;
+mod cert;
+mod resub;
+mod rewrite;
+mod sweep;
+
+pub use balance::Balance;
+pub use cert::{certify, CertFailure};
+pub use resub::Resub;
+pub use rewrite::Rewrite;
+pub use sweep::Sweep;
+
+use crate::aig::{Aig, AigRef};
+use chicala_telemetry as telemetry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many pass applications the `sampled` certification mode lets
+/// through between certified ones (deterministic, process-wide).
+const SAMPLE_PERIOD: u64 = 8;
+
+/// Certification policy for pass applications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertMode {
+    /// Trust the passes (fastest; the drill tests still certify manually).
+    Off,
+    /// Certify a deterministic 1-in-[`SAMPLE_PERIOD`] subset of pass
+    /// applications — cheap continuous spot checks.
+    Sampled,
+    /// Certify every accepted pass application (what CI's smoke gate and
+    /// the bench run under).
+    Full,
+}
+
+impl CertMode {
+    /// Reads `CHICALA_OPT_CERT` (`off` | `sampled` | `full`,
+    /// case-insensitive); unset or unrecognised values yield `Sampled`.
+    pub fn from_env() -> CertMode {
+        match std::env::var("CHICALA_OPT_CERT")
+            .map(|v| v.to_ascii_lowercase())
+            .as_deref()
+        {
+            Ok("off") => CertMode::Off,
+            Ok("full") => CertMode::Full,
+            _ => CertMode::Sampled,
+        }
+    }
+}
+
+/// Whether the optimizer runs at all, and how it certifies itself — the
+/// knob the prove paths and the A/B bench share.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptProfile {
+    /// Run the pass pipeline ahead of the proof engines.
+    pub enabled: bool,
+    /// Certification policy for accepted pass applications.
+    pub cert: CertMode,
+}
+
+impl OptProfile {
+    /// `CHICALA_OPT` (`off` disables; anything else, or unset, enables)
+    /// plus [`CertMode::from_env`].
+    pub fn from_env() -> OptProfile {
+        let enabled = !matches!(
+            std::env::var("CHICALA_OPT").map(|v| v.to_ascii_lowercase()).as_deref(),
+            Ok("off") | Ok("0")
+        );
+        OptProfile { enabled, cert: CertMode::from_env() }
+    }
+
+    /// Optimizer disabled (the raw-engine baseline of the A/B bench).
+    pub fn off() -> OptProfile {
+        OptProfile { enabled: false, cert: CertMode::Off }
+    }
+
+    /// Optimizer on with every application certified.
+    pub fn full_cert() -> OptProfile {
+        OptProfile { enabled: true, cert: CertMode::Full }
+    }
+}
+
+/// One rewriting pass over an [`Aig`] cone.
+///
+/// A pass is a *pure function of the graph*: it rebuilds the cone of
+/// `roots` into a fresh graph and returns it with the mapped roots and the
+/// old-node → new-edge mapping (inputs follow across through the map;
+/// entries for swept nodes are absent). Implementations usually go through
+/// the crate's rebuild skeleton, which garbage-collects orphaned nodes, so
+/// a pass never has to reason about its own dead wood.
+pub trait Pass {
+    /// Stable name (telemetry keys, stats, certification messages).
+    fn name(&self) -> &'static str;
+
+    /// Rebuilds the cone of `roots`.
+    fn run(&self, aig: &Aig, roots: &[AigRef]) -> (Aig, Vec<AigRef>, HashMap<u32, AigRef>);
+}
+
+/// What one pass application did (telemetry-facing).
+#[derive(Clone, Debug)]
+pub struct PassStats {
+    /// Pass name.
+    pub pass: &'static str,
+    /// Fixpoint round (0-based).
+    pub round: usize,
+    /// AND count before the pass.
+    pub nodes_in: usize,
+    /// AND count after the pass (post garbage collection).
+    pub nodes_out: usize,
+    /// Whether the result was kept (`false`: the node-count budget
+    /// rejected a growing rewrite and the input graph was kept).
+    pub accepted: bool,
+    /// `Some(true)` when this application's pre/post equivalence miter was
+    /// emitted and proved; `None` when certification was skipped.
+    pub certified: Option<bool>,
+}
+
+/// The optimized graph plus everything needed to keep using it in a proof.
+#[derive(Debug)]
+pub struct OptOutcome {
+    /// The optimized graph.
+    pub aig: Aig,
+    /// The roots, mapped into [`OptOutcome::aig`].
+    pub roots: Vec<AigRef>,
+    /// Original node id → final edge (absent: swept). Input decoding for
+    /// counterexamples follows original input nodes through here.
+    pub map: HashMap<u32, AigRef>,
+    /// Per-pass telemetry, in application order.
+    pub stats: Vec<PassStats>,
+}
+
+impl OptOutcome {
+    /// Number of pass applications whose certification miter was proved.
+    pub fn certified_count(&self) -> usize {
+        self.stats.iter().filter(|s| s.certified == Some(true)).count()
+    }
+}
+
+/// Runs a pass sequence to a fixpoint under a node-count-must-not-grow
+/// budget, certifying accepted applications per [`CertMode`].
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    /// Certification policy.
+    pub cert: CertMode,
+    /// Design width — drives the BDD/SAT crossover of the certification
+    /// miter's `Backend::Auto` discharge.
+    pub width: usize,
+    /// Fixpoint cap: rounds stop when the node count stops shrinking or
+    /// after this many rounds, whichever is first.
+    pub max_rounds: usize,
+}
+
+static CERT_TICK: AtomicU64 = AtomicU64::new(0);
+
+impl PassManager {
+    /// An empty manager (add passes with [`PassManager::with_pass`]).
+    pub fn new(width: usize, cert: CertMode) -> PassManager {
+        PassManager { passes: Vec::new(), cert, width, max_rounds: 4 }
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn with_pass(mut self, pass: Box<dyn Pass>) -> PassManager {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The standard pipeline: sweep → rewrite → balance → resub.
+    pub fn standard(width: usize, cert: CertMode) -> PassManager {
+        PassManager::new(width, cert)
+            .with_pass(Box::new(Sweep))
+            .with_pass(Box::new(Rewrite))
+            .with_pass(Box::new(Balance))
+            .with_pass(Box::new(Resub))
+    }
+
+    fn should_certify(&self) -> bool {
+        match self.cert {
+            CertMode::Off => false,
+            CertMode::Full => true,
+            CertMode::Sampled => {
+                CERT_TICK.fetch_add(1, Ordering::Relaxed).is_multiple_of(SAMPLE_PERIOD)
+            }
+        }
+    }
+
+    /// Runs the pipeline over `aig`.
+    ///
+    /// # Errors
+    ///
+    /// [`CertFailure`] when a certified pass application's pre/post miter
+    /// is *not* a tautology — the pass miscompiled the cone. The failure
+    /// carries the falsifying input assignment; the graph that produced it
+    /// is discarded, never used.
+    pub fn run(&self, mut aig: Aig, mut roots: Vec<AigRef>) -> Result<OptOutcome, CertFailure> {
+        let _span = telemetry::span!("opt:pipeline");
+        // Identity mapping over the original graph; composed through every
+        // accepted pass so callers can still find their inputs.
+        let mut map: HashMap<u32, AigRef> =
+            (0..aig.len() as u32).map(|i| (i, AigRef::from_node(i))).collect();
+        let mut stats = Vec::new();
+        for round in 0..self.max_rounds {
+            let round_start = aig.and_count();
+            for pass in &self.passes {
+                let _pspan = telemetry::span!("opt:{}", pass.name());
+                let nodes_in = aig.and_count();
+                let (next, next_roots, pass_map) = pass.run(&aig, &roots);
+                let nodes_out = next.and_count();
+                // The budget: a pass whose (garbage-collected) result grew
+                // is rejected wholesale — pipelines only ever shrink.
+                let accepted = nodes_out <= nodes_in;
+                let mut certified = None;
+                if accepted {
+                    if self.should_certify() {
+                        certify(&aig, &roots, &next, &next_roots, &pass_map, self.width)
+                            .map_err(|f| f.for_pass(pass.name()))?;
+                        telemetry::counter("opt.cert.proved", 1);
+                        certified = Some(true);
+                    }
+                    map = map
+                        .into_iter()
+                        .filter_map(|(o, e)| Aig::map_edge(&pass_map, e).map(|m| (o, m)))
+                        .collect();
+                    telemetry::record(
+                        &format!("opt.{}.nodes_saved", pass.name()),
+                        (nodes_in - nodes_out) as u64,
+                    );
+                    aig = next;
+                    roots = next_roots;
+                } else {
+                    telemetry::counter("opt.pass.rejected", 1);
+                }
+                stats.push(PassStats {
+                    pass: pass.name(),
+                    round,
+                    nodes_in,
+                    nodes_out,
+                    accepted,
+                    certified,
+                });
+            }
+            if aig.and_count() >= round_start {
+                break;
+            }
+        }
+        Ok(OptOutcome { aig, roots, map, stats })
+    }
+}
+
+/// A deliberately unsound rewrite for the injected-bug drill: on the
+/// 3-input shape `(x∧y) ∧ ¬(x∧v)` it returns `x∧y` outright, which *looks*
+/// like the sound substitution `(x∧y) ∧ ¬(x∧v) = x∧y∧¬v` ([`Rewrite`]'s R2
+/// rule) but drops the `¬v` guard. Never part of any shipped pipeline — it
+/// exists so tests can prove the certification miter actually catches a
+/// miscompiling pass (the same discipline as the registry's `rmul_drill`
+/// design and the fuzzer's `flatten_whens_dropping_guards` drill).
+pub struct DropGuardRewrite;
+
+/// The buggy half of [`DropGuardRewrite`]: `true` when `nand_side`'s
+/// NAND shares a grandchild with `and_side`'s AND.
+fn shares_nand_grandchild(out: &Aig, and_side: AigRef, nand_side: AigRef) -> bool {
+    if !nand_side.is_compl() {
+        return false;
+    }
+    match (out.and_children(and_side), out.and_children(!nand_side)) {
+        (Some((x, y)), Some((u, v))) => u == x || u == y || v == x || v == y,
+        _ => false,
+    }
+}
+
+impl Pass for DropGuardRewrite {
+    fn name(&self) -> &'static str {
+        "drop_guard_rewrite"
+    }
+
+    fn run(&self, aig: &Aig, roots: &[AigRef]) -> (Aig, Vec<AigRef>, HashMap<u32, AigRef>) {
+        aig.rebuild_with(roots, |out, _, ex, ey, _| {
+            if shares_nand_grandchild(out, ex, ey) {
+                return ex; // BUG: the ¬other-grandchild guard is dropped.
+            }
+            if shares_nand_grandchild(out, ey, ex) {
+                return ey; // BUG: same dropped guard, mirrored.
+            }
+            out.and(ex, ey)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::{AIG_FALSE, AIG_TRUE};
+
+    /// A miter-shaped graph: two structurally different builds of the same
+    /// 4-bit conjunction-of-xors, combined with an equivalence check that
+    /// only the optimizer (not plain strash) can fold to constant true.
+    fn sample_graph() -> (Aig, Vec<AigRef>) {
+        let mut g = Aig::new();
+        let ins: Vec<AigRef> = (0..6).map(|_| g.input()).collect();
+        // Side 1: left-fold.
+        let mut lhs = AIG_TRUE;
+        for w in ins.windows(2) {
+            let x = g.xor(w[0], w[1]);
+            lhs = g.and(lhs, x);
+        }
+        // Side 2: right-fold of the same pairs, reversed order.
+        let mut rhs = AIG_TRUE;
+        for w in ins.windows(2).rev() {
+            let x = g.xor(w[1], w[0]);
+            rhs = g.and(x, rhs);
+        }
+        let miter = g.xor(lhs, rhs);
+        (g, vec![!miter])
+    }
+
+    #[test]
+    fn standard_pipeline_shrinks_and_certifies() {
+        let (g, roots) = sample_graph();
+        let n0 = g.and_count();
+        let pm = PassManager::standard(4, CertMode::Full);
+        let out = pm.run(g, roots).expect("all certification miters prove");
+        assert!(out.aig.and_count() <= n0);
+        assert!(out.certified_count() > 0, "full mode certifies every accepted pass");
+        assert!(out.aig.no_orphans(&out.roots));
+        // The miter of two equal functions must fold to constant true.
+        assert_eq!(out.roots[0], AIG_TRUE, "optimizer closes the toy miter structurally");
+    }
+
+    #[test]
+    fn pipeline_preserves_semantics_on_random_graphs() {
+        // Pseudo-random AND/XOR/NOT dags, checked by exhaustive evaluation
+        // (8 inputs -> 256 assignments) against the optimized rebuild.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..24 {
+            let mut g = Aig::new();
+            let inputs: Vec<AigRef> = (0..8).map(|_| g.input()).collect();
+            let mut pool = inputs.clone();
+            for _ in 0..60 {
+                let a = pool[(rng() % pool.len() as u64) as usize];
+                let b = pool[(rng() % pool.len() as u64) as usize];
+                let a = if rng() % 2 == 0 { !a } else { a };
+                let b = if rng() % 2 == 0 { !b } else { b };
+                let n = match rng() % 3 {
+                    0 => g.and(a, b),
+                    1 => g.or(a, b),
+                    _ => g.xor(a, b),
+                };
+                pool.push(n);
+            }
+            let root = *pool.last().expect("nonempty");
+            let pm = PassManager::standard(8, CertMode::Full);
+            let n0 = g.and_count();
+            // Original input ids are 1..=8 (created first). Cone-restricted
+            // rebuilds may drop unused inputs, so evaluation maps each
+            // surviving graph's input nodes back to the original ids.
+            let inverse = |map: &HashMap<u32, AigRef>| -> HashMap<u32, u32> {
+                (1..=8u32)
+                    .filter_map(|i| map.get(&i).map(|e| (e.node(), i)))
+                    .collect()
+            };
+            let (gref, rref, mref) = g.rehash(&[root]);
+            let inv_ref = inverse(&mref);
+            let out = pm.run(g, vec![root]).expect("certification proves");
+            assert!(out.aig.and_count() <= n0, "case {case}: budget respected");
+            let inv_opt = inverse(&out.map);
+            let new_root = out.roots[0];
+            for bits in 0..256u32 {
+                let want = gref.eval(rref[0], &|n| bits >> (inv_ref[&n] - 1) & 1 == 1);
+                let got = out.aig.eval(new_root, &|n| bits >> (inv_opt[&n] - 1) & 1 == 1);
+                assert_eq!(got, want, "case {case} assignment {bits:08b}");
+            }
+        }
+    }
+
+    #[test]
+    fn drill_pass_is_caught_by_certification() {
+        // Build the exact shape the buggy substitution fires on:
+        // (x∧y) ∧ ¬(x∧v), which is x∧y∧¬v — not x∧y. The construction-time
+        // rules leave this 3-input shape alone, so the drill pass sees it.
+        let mut g = Aig::new();
+        let x = g.input();
+        let y = g.input();
+        let v = g.input();
+        let xy = g.and(x, y);
+        let xv = g.and(x, v);
+        let root = g.and(xy, !xv);
+        let pm = PassManager::new(2, CertMode::Full).with_pass(Box::new(DropGuardRewrite));
+        let err = pm.run(g, vec![root]).expect_err("the dropped guard must be caught");
+        assert_eq!(err.pass, "drop_guard_rewrite");
+        // The graphs differ exactly at x=y=v=1 (pre says false, the buggy
+        // post says true) — the certification counterexample must be it.
+        let a: std::collections::BTreeMap<u32, bool> = err.inputs.iter().copied().collect();
+        for (name, n) in [("x", x.node()), ("y", y.node()), ("v", v.node())] {
+            assert_eq!(a.get(&n), Some(&true), "cex must set {name}: {:?}", err.inputs);
+        }
+    }
+
+    #[test]
+    fn budget_rejects_growing_passes() {
+        struct Duplicator;
+        impl Pass for Duplicator {
+            fn name(&self) -> &'static str {
+                "duplicator"
+            }
+            fn run(&self, aig: &Aig, roots: &[AigRef]) -> (Aig, Vec<AigRef>, HashMap<u32, AigRef>) {
+                // Grows every AND into a two-node ladder: and(a,b) ->
+                // and(and(a,b), or(a,b)) (equivalent, strictly bigger).
+                aig.rebuild_with(roots, |out, _, ex, ey, _| {
+                    let base = out.and(ex, ey);
+                    let or = out.or(ex, ey);
+                    out.and(base, or)
+                })
+            }
+        }
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let ab = g.and(a, b);
+        let root = g.xor(ab, c);
+        let n0 = g.and_count();
+        let pm = PassManager::new(2, CertMode::Full).with_pass(Box::new(Duplicator));
+        let out = pm.run(g, vec![root]).expect("rejected passes are never certified");
+        assert_eq!(out.aig.and_count(), n0, "growing result discarded");
+        assert!(out.stats.iter().all(|s| !s.accepted), "{:?}", out.stats);
+    }
+
+    #[test]
+    fn cert_mode_env_parsing() {
+        // Not touching the real env (tests run in parallel); just the
+        // default path.
+        assert_eq!(CertMode::from_env(), CertMode::from_env());
+    }
+
+    #[test]
+    fn constant_roots_survive_the_pipeline() {
+        let mut g = Aig::new();
+        let x = g.input();
+        let t = g.and(x, !x); // folds to false at build time
+        assert_eq!(t, AIG_FALSE);
+        let pm = PassManager::standard(2, CertMode::Full);
+        let out = pm.run(g, vec![AIG_TRUE, AIG_FALSE]).expect("certifies");
+        assert_eq!(out.roots, vec![AIG_TRUE, AIG_FALSE]);
+        assert_eq!(out.aig.and_count(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Cut-based resubstitution: functional matching over small cuts.
+//!
+//! Structural hashing only merges nodes that are built identically;
+//! rewriting and balancing only merge shapes they were taught. This pass
+//! catches the rest *semantically*, for functions narrow enough to
+//! tabulate: it enumerates ≤4-leaf cuts bottom-up (the classic k-feasible
+//! cut enumeration), computes each cut's 16-row truth table, and keeps a
+//! table keyed by the canonicalised `(sorted leaves, truth table)` pair.
+//! When a freshly built node's cut computes a function some older node
+//! already provides over the same leaves, the new node is replaced by that
+//! older edge and the rebuild's orphan sweep collects it — cut sweeping,
+//! i.e. SAT-free fraiging for tabulatable cones.
+//!
+//! Truth tables are canonicalised by complementing until the all-zeros row
+//! is 0, so a node and its complement match the same table entry and the
+//! replacement edge carries the complement back out.
+
+use super::Pass;
+use crate::aig::{Aig, AigRef};
+use std::collections::HashMap;
+
+/// Leaf cap per cut: 4 leaves → 16-row tables in a `u16`.
+const MAX_LEAVES: usize = 4;
+/// Cut cap per node (the trivial cut included), keeping enumeration linear
+/// in practice.
+const MAX_CUTS: usize = 8;
+
+/// A cut: sorted leaf node ids plus the function of the node over them.
+///
+/// The table is always expanded over 4 variable positions (leaf `i` is
+/// variable `i`); unused positions are replicated, so equal functions over
+/// equal leaf vectors produce bit-identical tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Cut {
+    leaves: Vec<u32>,
+    tt: u16,
+}
+
+/// The truth table of variable `pos` of 4 (0xAAAA is `pos == 0`).
+fn var_tt(pos: usize) -> u16 {
+    const VARS: [u16; 4] = [0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
+    VARS[pos]
+}
+
+impl Cut {
+    fn trivial(node: u32) -> Cut {
+        Cut { leaves: vec![node], tt: var_tt(0) }
+    }
+
+    /// Re-expands this cut's table over a merged leaf vector that contains
+    /// every leaf of this cut.
+    fn expand(&self, merged: &[u32]) -> u16 {
+        let mut tt = 0u16;
+        for row in 0..16u16 {
+            // The row of `self.tt` this merged row projects to.
+            let mut sub = 0u16;
+            for (i, l) in self.leaves.iter().enumerate() {
+                let pos = merged.iter().position(|m| m == l).expect("superset");
+                if row >> pos & 1 == 1 {
+                    sub |= 1 << i;
+                }
+            }
+            if self.tt >> sub & 1 == 1 {
+                tt |= 1 << row;
+            }
+        }
+        tt
+    }
+}
+
+/// Canonicalises a table: the all-zeros row must evaluate to 0. Returns
+/// the canonical table and whether it was complemented.
+fn canon(tt: u16) -> (u16, bool) {
+    if tt & 1 == 1 {
+        (!tt, true)
+    } else {
+        (tt, false)
+    }
+}
+
+/// The resubstitution pass.
+#[derive(Default)]
+pub struct Resub;
+
+struct CutDb {
+    /// Cuts per new-graph node id.
+    cuts: Vec<Vec<Cut>>,
+    /// Canonical `(leaves, tt)` → the (canonical-polarity) edge that first
+    /// computed it. First writer wins, so entries always point at older
+    /// nodes — replacements can never create a cycle.
+    table: HashMap<(Vec<u32>, u16), AigRef>,
+}
+
+impl CutDb {
+    fn new() -> CutDb {
+        CutDb { cuts: vec![Vec::new()], table: HashMap::new() }
+    }
+
+    fn cuts_of(&self, node: u32) -> Vec<Cut> {
+        match self.cuts.get(node as usize) {
+            Some(c) if !c.is_empty() => c.clone(),
+            _ => vec![Cut::trivial(node)],
+        }
+    }
+
+    /// Enumerates the cuts of a fresh AND node over already-registered
+    /// children: the full cross product of the children's cuts, pruned to
+    /// the [`MAX_CUTS`] smallest (fewest leaves first — small cuts are the
+    /// ones that match), with the trivial cut always kept.
+    fn enumerate(&self, node: u32, x: AigRef, y: AigRef) -> Vec<Cut> {
+        let mut found: Vec<Cut> = Vec::new();
+        for cx in self.cuts_of(x.node()) {
+            for cy in self.cuts_of(y.node()) {
+                let mut merged: Vec<u32> = cx.leaves.clone();
+                for l in &cy.leaves {
+                    if !merged.contains(l) {
+                        merged.push(*l);
+                    }
+                }
+                if merged.len() > MAX_LEAVES {
+                    continue;
+                }
+                merged.sort_unstable();
+                let mut tx = cx.expand(&merged);
+                let mut ty = cy.expand(&merged);
+                if x.is_compl() {
+                    tx = !tx;
+                }
+                if y.is_compl() {
+                    ty = !ty;
+                }
+                let cut = Cut { leaves: merged, tt: tx & ty };
+                if !found.contains(&cut) {
+                    found.push(cut);
+                }
+            }
+        }
+        found.sort_by(|a, b| {
+            (a.leaves.len(), &a.leaves, a.tt).cmp(&(b.leaves.len(), &b.leaves, b.tt))
+        });
+        found.truncate(MAX_CUTS - 1);
+        let mut out = vec![Cut::trivial(node)];
+        out.extend(found);
+        out
+    }
+
+    /// Finds an older edge computing `cut`'s function (complement-aware).
+    fn lookup(&self, cut: &Cut) -> Option<AigRef> {
+        let (ctt, flip) = canon(cut.tt);
+        let e = *self.table.get(&(cut.leaves.clone(), ctt))?;
+        Some(if flip { !e } else { e })
+    }
+
+    /// Registers a node's cuts as providers of their functions.
+    fn register(&mut self, node: u32, cuts: Vec<Cut>) {
+        for cut in &cuts {
+            let (ctt, flip) = canon(cut.tt);
+            let edge = AigRef::from_node(node);
+            let edge = if flip { !edge } else { edge };
+            self.table.entry((cut.leaves.clone(), ctt)).or_insert(edge);
+        }
+        if self.cuts.len() <= node as usize {
+            self.cuts.resize(node as usize + 1, Vec::new());
+        }
+        self.cuts[node as usize] = cuts;
+    }
+
+}
+
+impl Pass for Resub {
+    fn name(&self) -> &'static str {
+        "resub"
+    }
+
+    fn run(&self, aig: &Aig, roots: &[AigRef]) -> (Aig, Vec<AigRef>, HashMap<u32, AigRef>) {
+        let mut db = CutDb::new();
+        aig.rebuild_with(roots, |out, _, ex, ey, _| {
+            let before = out.len();
+            let r = out.and(ex, ey);
+            if out.len() == before {
+                // Folded or strashed into an existing node: nothing new to
+                // match (and its cuts, if any, are already registered).
+                return r;
+            }
+            // Fresh node: if any of its cuts recomputes a function an
+            // older node already provides, use that node instead — the
+            // fresh one is left orphaned for the sweep.
+            let (cx, cy) = out.and_children(r).expect("fresh node is an AND");
+            let cuts = db.enumerate(r.node(), cx, cy);
+            for cut in cuts.iter().skip(1) {
+                if let Some(e) = db.lookup(cut) {
+                    if e.node() != r.node() {
+                        return e;
+                    }
+                }
+            }
+            db.register(r.node(), cuts);
+            r
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_equivalent(
+        g: &Aig,
+        root: AigRef,
+        out: &Aig,
+        new_root: AigRef,
+        map: &HashMap<u32, AigRef>,
+    ) {
+        let n_inputs = g.input_count() as u32;
+        assert!(n_inputs <= 8);
+        let inv: HashMap<u32, u32> = (1..=n_inputs)
+            .filter_map(|i| map.get(&i).map(|e| (e.node(), i)))
+            .collect();
+        for bits in 0..1u32 << n_inputs {
+            let want = g.eval(root, &|n| bits >> (n - 1) & 1 == 1);
+            let got = out.eval(new_root, &|n| bits >> (inv[&n] - 1) & 1 == 1);
+            assert_eq!(got, want, "assignment {bits:08b}");
+        }
+    }
+
+    #[test]
+    fn truth_table_expansion() {
+        // x0 ∧ x1 over leaves [1,2], expanded over [1,2,3], is still
+        // independent of x2.
+        let c = Cut { leaves: vec![1, 2], tt: var_tt(0) & var_tt(1) };
+        let e = c.expand(&[1, 2, 3]);
+        assert_eq!(e, var_tt(0) & var_tt(1));
+        // And expansion respects positions: x0 over [2] placed into
+        // [1, 2] becomes variable 1.
+        let c2 = Cut { leaves: vec![2], tt: var_tt(0) };
+        assert_eq!(c2.expand(&[1, 2]), var_tt(1));
+    }
+
+    #[test]
+    fn majority_built_two_ways_merges() {
+        // maj(a,b,c) as ab∨ac∨bc, and again as (a∧(b∨c))∨(b∧c): same
+        // 3-leaf function, different structures; strash and the local
+        // rules miss it, the truth-table match must not.
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let ab = g.and(a, b);
+        let ac = g.and(a, c);
+        let bc = g.and(b, c);
+        let m1 = {
+            let o1 = g.or(ab, ac);
+            g.or(o1, bc)
+        };
+        let m2 = {
+            let boc = g.or(b, c);
+            let a_boc = g.and(a, boc);
+            g.or(a_boc, bc)
+        };
+        let root = g.xor(m1, m2); // should optimize toward constant false
+        let n0 = g.and_count();
+        let (out, roots, map) = Resub.run(&g, &[root]);
+        assert!(out.and_count() < n0, "{n0} -> {}", out.and_count());
+        assert_equivalent(&g, root, &out, roots[0], &map);
+        // The two majority cones merged, so the xor cancels structurally.
+        assert_eq!(roots[0], crate::aig::AIG_FALSE, "{out:?}");
+    }
+
+    #[test]
+    fn complement_aware_matching() {
+        // ¬(a∧b) rebuilt as ¬a∨¬b: the second build's top is the
+        // complement of the first's — one node, complement edge.
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let n1 = {
+            let t = g.and(a, b);
+            !t
+        };
+        // Build ¬a∨¬b *without* letting strash see and(a,b): or(x,y) is
+        // ¬(¬x∧¬y), i.e. ¬(a∧b) again structurally — so instead check a
+        // genuinely different shape: (¬a∧¬b)∨(¬a∧b)∨(a∧¬b) = ¬(a∧b).
+        let t1 = g.and(!a, !b);
+        let t2 = g.and(!a, b);
+        let t3 = g.and(a, !b);
+        let n2 = {
+            let o = g.or(t1, t2);
+            g.or(o, t3)
+        };
+        let root = g.xor(n1, n2);
+        let (out, roots, map) = Resub.run(&g, &[root]);
+        assert_eq!(roots[0], crate::aig::AIG_FALSE, "{out:?}");
+        assert_equivalent(&g, root, &out, roots[0], &map);
+    }
+
+    #[test]
+    fn respects_leaf_cap() {
+        // A 6-input cone has no ≤4-leaf cut at its top; the pass must
+        // still terminate and preserve the function.
+        let mut g = Aig::new();
+        let ins: Vec<AigRef> = (0..6).map(|_| g.input()).collect();
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = g.xor(acc, i);
+        }
+        let (out, roots, map) = Resub.run(&g, &[acc]);
+        assert_equivalent(&g, acc, &out, roots[0], &map);
+    }
+}

@@ -1,0 +1,202 @@
+//! Strash-aware local rewriting: 3-input extensions of the
+//! Brummayer–Biere rules.
+//!
+//! [`crate::aig::Aig::and`] already folds the one- and two-level shapes at
+//! construction time (constants, idempotence, contradiction, subsumption,
+//! `¬(x∧y)∧x = x∧¬y`). What it deliberately does *not* do is look across
+//! three distinct inputs — those rewrites can cascade, so they belong in a
+//! fixpoint pass, not the front-end's hot path. This pass replays every
+//! AND of the cone and additionally applies, for `a ∧ b` with AND/NAND
+//! children over grandchildren `x,y,u,v`:
+//!
+//! * **R1 shared-child absorption** — `(x∧y) ∧ (x∧v)  =  (x∧y) ∧ v`
+//!   (the second conjunct's `x` is already guaranteed; the narrowed AND
+//!   often folds further or strashes into an existing node);
+//! * **R2 NAND narrowing** — `(x∧y) ∧ ¬(x∧v)  =  (x∧y) ∧ ¬v`
+//!   (under `x∧y`, `x` holds, so `x∧v` reduces to `v`);
+//! * **R3 NAND discharge** — `(x∧y) ∧ ¬(u∧v)  =  x∧y` when `u` or `v` is
+//!   the complement of `x` or `y` (the NAND is already true);
+//! * **R4 resolution** — `¬(x∧y) ∧ ¬(x∧¬y)  =  ¬x`
+//!   (the two NANDs resolve on `y`).
+//!
+//! All four shrink or keep the node count; cascades (a narrowed AND
+//! matching another rule) go back through the same front-end. The
+//! rebuild's orphan sweep collects the bypassed NAND/AND children.
+
+use super::Pass;
+use crate::aig::{Aig, AigRef};
+use std::collections::HashMap;
+
+/// The 3-input rewriting pass.
+pub struct Rewrite;
+
+/// One rewriting attempt for `a ∧ b`, trying the asymmetric rules with the
+/// operands in this order (the caller tries both orders).
+fn try_rules(out: &mut Aig, a: AigRef, b: AigRef) -> Option<AigRef> {
+    // R1/R3/R2 need `a` to be a plain AND.
+    if let Some((x, y)) = out.and_children(a) {
+        if let Some((u, v)) = out.and_children(b) {
+            // R1: shared child — drop it from the second conjunct.
+            if u == x || u == y {
+                return Some(rewrite_and(out, a, v));
+            }
+            if v == x || v == y {
+                return Some(rewrite_and(out, a, u));
+            }
+        }
+        if b.is_compl() {
+            if let Some((u, v)) = out.and_children(!b) {
+                // R3: the NAND holds whenever `a` does.
+                if u == !x || u == !y || v == !x || v == !y {
+                    return Some(a);
+                }
+                // R2: narrow the NAND by the grandchild `a` guarantees.
+                if u == x || u == y {
+                    return Some(rewrite_and(out, a, !v));
+                }
+                if v == x || v == y {
+                    return Some(rewrite_and(out, a, !u));
+                }
+            }
+        }
+    }
+    // R4: resolution across two NANDs sharing one child, with the other
+    // children complementary.
+    if a.is_compl() && b.is_compl() {
+        if let (Some((x, y)), Some((u, v))) =
+            (out.and_children(!a), out.and_children(!b))
+        {
+            if (x == u && y == !v) || (x == v && y == !u) {
+                return Some(!x);
+            }
+            if (y == u && x == !v) || (y == v && x == !u) {
+                return Some(!y);
+            }
+        }
+    }
+    None
+}
+
+/// `and` with the 3-input rules layered over the construction front-end.
+fn rewrite_and(out: &mut Aig, a: AigRef, b: AigRef) -> AigRef {
+    if let Some(r) = try_rules(out, a, b) {
+        return r;
+    }
+    if let Some(r) = try_rules(out, b, a) {
+        return r;
+    }
+    out.and(a, b)
+}
+
+impl Pass for Rewrite {
+    fn name(&self) -> &'static str {
+        "rewrite"
+    }
+
+    fn run(&self, aig: &Aig, roots: &[AigRef]) -> (Aig, Vec<AigRef>, HashMap<u32, AigRef>) {
+        aig.rebuild_with(roots, |out, _, ex, ey, _| rewrite_and(out, ex, ey))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::AIG_TRUE;
+
+    /// Exhaustively checks that the pass preserved the function of `root`
+    /// over the graph's (≤ 8) inputs, following inputs through the map.
+    fn assert_equivalent(g: &Aig, root: AigRef, out: &Aig, new_root: AigRef, map: &HashMap<u32, AigRef>) {
+        let n_inputs = g.input_count() as u32;
+        assert!(n_inputs <= 8);
+        let inv: HashMap<u32, u32> = (1..=n_inputs)
+            .filter_map(|i| map.get(&i).map(|e| (e.node(), i)))
+            .collect();
+        for bits in 0..1u32 << n_inputs {
+            let want = g.eval(root, &|n| bits >> (n - 1) & 1 == 1);
+            let got = out.eval(new_root, &|n| bits >> (inv[&n] - 1) & 1 == 1);
+            assert_eq!(got, want, "assignment {bits:08b}");
+        }
+    }
+
+    #[test]
+    fn r1_shared_child_absorption() {
+        let mut g = Aig::new();
+        let x = g.input();
+        let y = g.input();
+        let v = g.input();
+        let xy = g.and(x, y);
+        let xv = g.and(x, v);
+        let root = g.and(xy, xv); // x∧y∧v as three ANDs
+        assert_eq!(g.and_count(), 3);
+        let (out, roots, map) = Rewrite.run(&g, &[root]);
+        assert_eq!(out.and_count(), 2, "one AND absorbed: {out:?}");
+        assert_equivalent(&g, root, &out, roots[0], &map);
+    }
+
+    #[test]
+    fn r2_nand_narrowing() {
+        let mut g = Aig::new();
+        let x = g.input();
+        let y = g.input();
+        let v = g.input();
+        let xy = g.and(x, y);
+        let xv = g.and(x, v);
+        let root = g.and(xy, !xv); // (x∧y)∧¬(x∧v) = x∧y∧¬v
+        let (out, roots, map) = Rewrite.run(&g, &[root]);
+        assert_eq!(out.and_count(), 2, "NAND narrowed to a literal: {out:?}");
+        assert_equivalent(&g, root, &out, roots[0], &map);
+    }
+
+    #[test]
+    fn r3_nand_discharge() {
+        let mut g = Aig::new();
+        let x = g.input();
+        let y = g.input();
+        let v = g.input();
+        let nxv = {
+            let t = g.and(!x, v);
+            !t
+        };
+        let xy = g.and(x, y);
+        let root = g.and(xy, nxv); // ¬(¬x∧v) is implied by x
+        let (out, roots, map) = Rewrite.run(&g, &[root]);
+        assert_eq!(out.and_count(), 1, "NAND discharged: {out:?}");
+        assert_equivalent(&g, root, &out, roots[0], &map);
+    }
+
+    #[test]
+    fn r4_resolution() {
+        let mut g = Aig::new();
+        let x = g.input();
+        let y = g.input();
+        let xy = g.and(x, y);
+        let xny = g.and(x, !y);
+        let root = g.and(!xy, !xny); // resolves to ¬x
+        let (out, roots, map) = Rewrite.run(&g, &[root]);
+        assert_eq!(out.and_count(), 0, "resolved to a literal: {out:?}");
+        let nx = map.get(&x.node()).copied().expect("x survives");
+        assert_eq!(roots[0], !nx);
+        assert_equivalent(&g, root, &out, roots[0], &map);
+    }
+
+    #[test]
+    fn rewrites_cascade_through_the_front_end() {
+        // R1's narrowed conjunct hits the front-end idempotence rule:
+        // (x∧y)∧(y∧x) is subsumption (already handled), so use
+        // (x∧y)∧(x∧y') chains: ((x∧y)∧(x∧v))∧(x∧w) collapses stepwise.
+        let mut g = Aig::new();
+        let x = g.input();
+        let y = g.input();
+        let v = g.input();
+        let w = g.input();
+        let xy = g.and(x, y);
+        let xv = g.and(x, v);
+        let xw = g.and(x, w);
+        let t = g.and(xy, xv);
+        let root = g.and(t, xw);
+        let (out, roots, map) = Rewrite.run(&g, &[root]);
+        assert!(out.and_count() < g.and_count());
+        assert_equivalent(&g, root, &out, roots[0], &map);
+        let _ = AIG_TRUE;
+    }
+}

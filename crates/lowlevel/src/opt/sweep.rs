@@ -1,0 +1,59 @@
+//! Constant propagation + dangling-node sweep.
+
+use super::Pass;
+use crate::aig::{Aig, AigRef};
+use std::collections::HashMap;
+
+/// Replays every AND through the construction-time front-end (constant
+/// folding, unit rules, one/two-level rewriting, structural hashing),
+/// restricted to the cone of the roots, and garbage-collects everything
+/// else — i.e. [`Aig::rehash`] as a pipeline pass.
+///
+/// On a freshly lowered netlist this mostly prunes dead logic; its real job
+/// is *between* other passes, where resubstituted or rebalanced children
+/// turn former ANDs into constants and the replay folds the fallout away.
+pub struct Sweep;
+
+impl Pass for Sweep {
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+
+    fn run(&self, aig: &Aig, roots: &[AigRef]) -> (Aig, Vec<AigRef>, HashMap<u32, AigRef>) {
+        aig.rehash(roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::AIG_TRUE;
+
+    #[test]
+    fn sweep_drops_logic_outside_the_cone() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let keep = g.and(a, b);
+        let dead = g.xor(b, c);
+        let _ = dead;
+        let (out, roots, _) = Sweep.run(&g, &[keep]);
+        assert_eq!(out.and_count(), 1);
+        assert!(out.no_orphans(&roots));
+    }
+
+    #[test]
+    fn sweep_is_identity_on_live_cones() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.xor(a, b);
+        let (out, roots, _) = Sweep.run(&g, &[x]);
+        assert_eq!(out.and_count(), g.and_count());
+        let (out2, roots2, _) = Sweep.run(&out, &roots);
+        assert_eq!(out2.and_count(), out.and_count());
+        assert_eq!(roots2, roots);
+        let _ = AIG_TRUE;
+    }
+}

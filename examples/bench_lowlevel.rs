@@ -1,6 +1,7 @@
 //! Gate-level backend benchmark: times the per-width design-vs-golden
 //! equivalence proof for every registry design under both the BDD and the
-//! AIG+SAT backend, and writes the results to `BENCH_lowlevel.json`.
+//! AIG+SAT backend — with the self-certifying AIG optimizer off and on —
+//! and writes the results to `BENCH_lowlevel.json`.
 //!
 //! ```text
 //! cargo run --release --example bench_lowlevel            # full sweep
@@ -8,15 +9,36 @@
 //! ```
 //!
 //! For each design the width sweep runs from `min_width` to the registry's
-//! `gate_max_width` ceiling. The SAT backend is timed at every width; the
-//! BDD backend only up to the design's *old* ceiling (the `gate_max_width`
-//! the registry shipped with before the SAT backend existed), past which
-//! monolithic BDDs blow up. The headline number per design is
-//! `speedup_at_old_ceiling`: BDD time over SAT time on the identical miter
-//! at the last width the BDD backend was ever asked to handle.
+//! `gate_max_width` ceiling. Per width the bench records:
 //!
-//! Smoke mode caps the sweep at width 12 and exits non-zero unless the SAT
-//! backend proves every miter UNSAT, which is what CI asserts.
+//! * `bdd_ns` — the raw monolithic-BDD prove, only up to the design's
+//!   BDD-era ceiling (`bdd_ceiling`), past which monolithic BDDs blow up;
+//! * `bdd_opt_ns` — the BDD prove behind the optimizer; measured at every
+//!   width where the pipeline closes the cone structurally (the BDD never
+//!   materialises), else only up to `bdd_ceiling`;
+//! * `sat_ns` / `sat_opt_ns` — the AIG+SAT prove with the optimizer
+//!   disabled vs enabled (min of [`REPS`] runs each; the optimized timing
+//!   runs with certification off, so it measures pure prove cost);
+//! * `pre_ands` / `post_ands` — AND-node count of the miter cone before
+//!   and after the standard pass pipeline, run separately under
+//!   `CertMode::Full` so every accepted pass application must prove its
+//!   own pre/post equivalence miter right here in the bench.
+//!
+//! Headline numbers per design: `speedup_at_bdd_ceiling` (raw BDD over raw
+//! SAT at the last BDD-era width, the PR-4 story),
+//! `opt_bdd_speedup_at_bdd_ceiling` (raw BDD over optimizer+BDD at the
+//! same width — where the optimizer genuinely moves a ceiling), and
+//! `opt_sat_speedup_at_prev_ceiling` (raw SAT over optimized SAT at the
+//! pre-optimizer `gate_max_width`). The honest fine print on the last one:
+//! the registry miters are already closed by structural hashing during
+//! netlist→AIG lowering, so the SAT ratio hovers near 1.0 — the SAT-path
+//! cost is the lowering itself, and [`prove_net_with`] skips the pipeline
+//! when the lowered root is constant.
+//!
+//! Smoke mode caps the sweep at width 12 and exits non-zero unless every
+//! SAT prove (both profiles) is UNSAT, every certification miter proves,
+//! and no pipeline ever grows a cone. CI runs it with
+//! `CHICALA_OPT_CERT=full`.
 //!
 //! Knobs (environment):
 //! - `CHICALA_BENCH_OUT`: output path (default `BENCH_lowlevel.json`).
@@ -24,23 +46,42 @@
 //!   verbatim under `"baseline"`.
 
 use chicala::conformance::{all_designs, formal_gate_obligation};
-use chicala::lowlevel::{prove_net, Backend};
+use chicala::lowlevel::{
+    from_netlist, prove_net_with, Backend, CertMode, OptProfile, PassManager,
+};
 use std::time::Instant;
 
-/// The registry's `gate_max_width` before the SAT backend: the widths the
-/// BDD-only gates layer could afford per design.
-fn old_ceiling(name: &str) -> u64 {
+/// Timing repetitions for the SAT-path measurements (min is reported).
+const REPS: usize = 3;
+
+/// The registry's `gate_max_width` before the SAT backend existed: the
+/// widths the BDD-only gates layer could afford per design.
+fn bdd_ceiling(name: &str) -> u64 {
     match name {
         "rotate" | "popcount" => 10,
         "rmul" | "rdiv" => 8,
-        _ => 6, // xmul, xdiv
+        _ => 6, // xmul, xdiv, csel, ks, csa3
+    }
+}
+
+/// The registry's `gate_max_width` before the optimizer PR (the PR-4
+/// ceilings): where `opt_speedup_at_prev_ceiling` is read.
+fn prev_ceiling(name: &str) -> u64 {
+    match name {
+        "rotate" | "popcount" => 28,
+        "xmul" => 16,
+        _ => 24, // rmul, rdiv, xdiv, csel, ks, csa3
     }
 }
 
 struct Row {
     width: u64,
     bdd_ns: Option<u64>,
+    bdd_opt_ns: Option<u64>,
     sat_ns: u64,
+    sat_opt_ns: u64,
+    pre_ands: usize,
+    post_ands: usize,
     sat_proved: bool,
 }
 
@@ -59,41 +100,131 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{} (widths {}..={cap}, BDD up to {}):",
             d.name,
             d.min_width,
-            old_ceiling(d.name)
+            bdd_ceiling(d.name)
         );
-        println!("{:>6} {:>12} {:>12} {:>9}", "width", "BDD", "SAT", "status");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12} {:>14} {:>9}",
+            "width", "BDD raw", "BDD opt", "SAT raw", "SAT opt", "ands pre/post", "status"
+        );
         let mut rows = Vec::new();
         for width in d.min_width..=cap {
             let ob = formal_gate_obligation(&d, width)?.expect("golden model registered");
-            let bdd_ns = (width <= old_ceiling(d.name)).then(|| {
+
+            // Cone size before/after the pipeline, fully certified: the
+            // bench is itself a certification gate.
+            let (aig, roots, _) = from_netlist(&ob.netlist, &[ob.property]);
+            let pre_ands = aig.and_count();
+            let out = PassManager::standard(width as usize, CertMode::Full)
+                .run(aig, roots)
+                .unwrap_or_else(|e| {
+                    panic!("{} at width {width}: certification failed: {e}", d.name)
+                });
+            let post_ands = out.aig.and_count();
+            assert!(
+                post_ands <= pre_ands,
+                "{} at width {width}: pipeline grew the cone ({pre_ands} -> {post_ands})",
+                d.name
+            );
+
+            let bdd_ns = (width <= bdd_ceiling(d.name)).then(|| {
                 let t = Instant::now();
-                let r = prove_net(&ob.netlist, ob.property, Backend::Bdd, width as usize, &ob.var_order);
+                let r = prove_net_with(
+                    &ob.netlist,
+                    ob.property,
+                    Backend::Bdd,
+                    width as usize,
+                    &ob.var_order,
+                    OptProfile::off(),
+                );
                 assert!(r.is_proved(), "{} at width {width}: BDD: {r:?}", d.name);
                 t.elapsed().as_nanos() as u64
             });
-            let t = Instant::now();
-            let r = prove_net(&ob.netlist, ob.property, Backend::Sat, width as usize, &ob.var_order);
-            let sat_ns = t.elapsed().as_nanos() as u64;
-            let sat_proved = r.is_proved();
+            // The optimized BDD prove runs at every width where the
+            // pipeline closed the cone structurally (the BDD then never
+            // materialises); where it did not, only up to the BDD-era
+            // ceiling — an unclosed monolithic BDD still blows up.
+            let bdd_opt_ns = (post_ands == 0 || width <= bdd_ceiling(d.name)).then(|| {
+                let t = Instant::now();
+                let r = prove_net_with(
+                    &ob.netlist,
+                    ob.property,
+                    Backend::Bdd,
+                    width as usize,
+                    &ob.var_order,
+                    OptProfile { enabled: true, cert: CertMode::Off },
+                );
+                assert!(r.is_proved(), "{} at width {width}: BDD+opt: {r:?}", d.name);
+                t.elapsed().as_nanos() as u64
+            });
+
+            let time_sat = |profile: OptProfile| -> (u64, bool) {
+                let mut best = u64::MAX;
+                let mut proved = true;
+                for _ in 0..REPS {
+                    let t = Instant::now();
+                    let r = prove_net_with(
+                        &ob.netlist,
+                        ob.property,
+                        Backend::Sat,
+                        width as usize,
+                        &ob.var_order,
+                        profile,
+                    );
+                    best = best.min(t.elapsed().as_nanos() as u64);
+                    proved &= r.is_proved();
+                }
+                (best, proved)
+            };
+            let (sat_ns, raw_proved) = time_sat(OptProfile::off());
+            let (sat_opt_ns, opt_proved) =
+                time_sat(OptProfile { enabled: true, cert: CertMode::Off });
+            let sat_proved = raw_proved && opt_proved;
             all_sat_proved &= sat_proved;
             println!(
-                "{:>6} {:>12} {:>12} {:>9}",
+                "{:>6} {:>12} {:>12} {:>12} {:>12} {:>14} {:>9}",
                 width,
                 bdd_ns.map_or("-".into(), |ns| format!("{:.2}ms", ns as f64 / 1e6)),
+                bdd_opt_ns.map_or("-".into(), |ns| format!("{:.2}ms", ns as f64 / 1e6)),
                 format!("{:.2}ms", sat_ns as f64 / 1e6),
+                format!("{:.2}ms", sat_opt_ns as f64 / 1e6),
+                format!("{pre_ands}/{post_ands}"),
                 if sat_proved { "UNSAT" } else { "SAT?!" }
             );
-            rows.push(Row { width, bdd_ns, sat_ns, sat_proved });
+            rows.push(Row {
+                width,
+                bdd_ns,
+                bdd_opt_ns,
+                sat_ns,
+                sat_opt_ns,
+                pre_ands,
+                post_ands,
+                sat_proved,
+            });
         }
-        let at_old = rows.iter().find(|r| r.width == old_ceiling(d.name));
-        if let Some(r) = at_old {
+        if let Some(r) = rows.iter().find(|r| r.width == bdd_ceiling(d.name)) {
             if let Some(b) = r.bdd_ns {
                 println!(
-                    "  speedup at old ceiling (w={}): {:.1}x\n",
+                    "  BDD->SAT speedup at BDD ceiling (w={}): {:.1}x",
                     r.width,
                     b as f64 / r.sat_ns.max(1) as f64
                 );
+                if let Some(bo) = r.bdd_opt_ns {
+                    println!(
+                        "  optimizer speedup on the BDD engine at its ceiling (w={}): {:.1}x",
+                        r.width,
+                        b as f64 / bo.max(1) as f64
+                    );
+                }
             }
+        }
+        if let Some(r) = rows.iter().find(|r| r.width == prev_ceiling(d.name)) {
+            println!(
+                "  optimizer speedup at previous ceiling (w={}): {:.2}x ({} -> {} ands)\n",
+                r.width,
+                r.sat_ns as f64 / r.sat_opt_ns.max(1) as f64,
+                r.pre_ands,
+                r.post_ands
+            );
         } else {
             println!();
         }
@@ -112,23 +243,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str(&format!("  \"all_sat_proved\": {all_sat_proved},\n"));
     json.push_str("  \"designs\": {\n");
     for (di, (name, rows)) in per_design.iter().enumerate() {
-        let speedup = rows
+        let at_bdd_ceiling = rows.iter().find(|r| r.width == bdd_ceiling(name));
+        let speedup =
+            at_bdd_ceiling.and_then(|r| r.bdd_ns.map(|b| b as f64 / r.sat_ns.max(1) as f64));
+        let bdd_opt_speedup = at_bdd_ceiling.and_then(|r| {
+            r.bdd_ns.zip(r.bdd_opt_ns).map(|(b, bo)| b as f64 / bo.max(1) as f64)
+        });
+        let opt_speedup = rows
             .iter()
-            .find(|r| r.width == old_ceiling(name))
-            .and_then(|r| r.bdd_ns.map(|b| b as f64 / r.sat_ns.max(1) as f64));
+            .find(|r| r.width == prev_ceiling(name))
+            .map(|r| r.sat_ns as f64 / r.sat_opt_ns.max(1) as f64);
         json.push_str(&format!("    \"{name}\": {{\n"));
-        json.push_str(&format!("      \"old_ceiling\": {},\n", old_ceiling(name)));
+        json.push_str(&format!("      \"bdd_ceiling\": {},\n", bdd_ceiling(name)));
+        json.push_str(&format!("      \"prev_gate_ceiling\": {},\n", prev_ceiling(name)));
         json.push_str(&format!(
-            "      \"speedup_at_old_ceiling\": {},\n",
+            "      \"speedup_at_bdd_ceiling\": {},\n",
             speedup.map_or("null".into(), |s| format!("{s:.3}"))
+        ));
+        json.push_str(&format!(
+            "      \"opt_bdd_speedup_at_bdd_ceiling\": {},\n",
+            bdd_opt_speedup.map_or("null".into(), |s| format!("{s:.3}"))
+        ));
+        json.push_str(&format!(
+            "      \"opt_sat_speedup_at_prev_ceiling\": {},\n",
+            opt_speedup.map_or("null".into(), |s| format!("{s:.3}"))
         ));
         json.push_str("      \"rows\": [\n");
         for (i, r) in rows.iter().enumerate() {
             json.push_str(&format!(
-                "        {{ \"width\": {}, \"bdd_ns\": {}, \"sat_ns\": {}, \"sat_proved\": {} }}{}\n",
+                "        {{ \"width\": {}, \"bdd_ns\": {}, \"bdd_opt_ns\": {}, \"sat_ns\": {}, \
+                 \"sat_opt_ns\": {}, \"pre_ands\": {}, \"post_ands\": {}, \"sat_proved\": {} }}{}\n",
                 r.width,
                 r.bdd_ns.map_or("null".into(), |n| n.to_string()),
+                r.bdd_opt_ns.map_or("null".into(), |n| n.to_string()),
                 r.sat_ns,
+                r.sat_opt_ns,
+                r.pre_ands,
+                r.post_ands,
                 r.sat_proved,
                 if i + 1 < rows.len() { "," } else { "" }
             ));
