@@ -1,0 +1,104 @@
+//! Content-addressed caching hook for compiled simulation programs.
+//!
+//! Compiling an [`ElabModule`] into a slot program
+//! ([`chicala_chisel::compile`]) is a pure function of the elaborated
+//! structure, so the program is cacheable by the module's content digest
+//! ([`ElabModule::digest_into`]). The in-process `sim_plan` memo already
+//! shares one program across cases and workers; this hook extends that
+//! across *processes* — a daemon restart, a fresh `cargo test`, or a bench
+//! run can reuse programs compiled by an earlier life.
+//!
+//! Soundness posture: the payload is a [`CompiledModule`] byte encoding
+//! whose decoder rejects truncation, trailing bytes, and out-of-range slot
+//! references, and the store layer re-verifies the key transcript and a
+//! payload checksum on read. A payload that fails any of those checks is a
+//! miss — the program recompiles from source. On top of that, a decoded
+//! program whose `name` disagrees with the module is discarded.
+
+use chicala_chisel::{CompiledModule, ElabModule};
+use chicala_telemetry as telemetry;
+use std::hash::Hasher;
+use std::sync::{Arc, RwLock};
+
+/// Bumped when the key shape changes (the payload carries its own codec
+/// version inside [`CompiledModule::encode`]).
+pub const PROGRAM_KEY_SCHEMA: u32 = 1;
+
+/// A content-addressed store for compiled simulation programs.
+pub trait ProgramCache: Send + Sync {
+    /// Returns the stored payload for an identical key, if any.
+    fn lookup(&self, key: &[u8], digest: u128) -> Option<Vec<u8>>;
+    /// Persists `payload` under `key`; failures must be silent.
+    fn store(&self, key: &[u8], digest: u128, payload: &[u8]);
+}
+
+static PROGRAM_CACHE: RwLock<Option<Arc<dyn ProgramCache>>> = RwLock::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide program cache.
+pub fn set_program_cache(cache: Option<Arc<dyn ProgramCache>>) {
+    *PROGRAM_CACHE.write().expect("program cache slot") = cache;
+}
+
+fn program_cache() -> Option<Arc<dyn ProgramCache>> {
+    PROGRAM_CACHE.read().expect("program cache slot").clone()
+}
+
+/// The canonical key of a compiled program: two independently-seeded
+/// digests of the elaborated module content (the same O(1)-bytes
+/// transcript scheme as the VC cache — a served hit must collide both).
+pub fn program_key(em: &ElabModule) -> (Vec<u8>, u128) {
+    let mut h = telemetry::Fnv128::new();
+    h.write(b"chicala-program");
+    h.write(&PROGRAM_KEY_SCHEMA.to_le_bytes());
+    em.digest_into(&mut h);
+    let digest = h.finish128();
+    let mut h2 = telemetry::Fnv128::new();
+    h2.write(b"chicala-program-check");
+    h2.write(&PROGRAM_KEY_SCHEMA.to_le_bytes());
+    em.digest_into(&mut h2);
+    let mut key = Vec::with_capacity(51);
+    key.extend_from_slice(b"chicala-program");
+    key.extend_from_slice(&PROGRAM_KEY_SCHEMA.to_le_bytes());
+    key.extend_from_slice(&digest.to_le_bytes());
+    key.extend_from_slice(&h2.finish128().to_le_bytes());
+    // The address is the digest *of the key bytes* — the store's contract
+    // (it refuses any entry whose address it cannot re-derive from the
+    // stored key on read). Content sensitivity is inherited: both content
+    // digests are embedded in the key.
+    let mut ha = telemetry::Fnv128::new();
+    ha.write(&key);
+    let address = ha.finish128();
+    (key, address)
+}
+
+/// Looks up a compiled program for `em`, if a cache is installed and has
+/// a decodable entry.
+pub(crate) fn cached_program(em: &ElabModule) -> Option<CompiledModule> {
+    let cache = program_cache()?;
+    let (key, digest) = program_key(em);
+    let payload = match cache.lookup(&key, digest) {
+        Some(p) => p,
+        None => {
+            telemetry::counter("cache.program.miss", 1);
+            return None;
+        }
+    };
+    match CompiledModule::decode(&payload) {
+        Some(prog) if prog.name == em.name => {
+            telemetry::counter("cache.program.hit", 1);
+            Some(prog)
+        }
+        _ => {
+            telemetry::counter("cache.program.undecodable", 1);
+            None
+        }
+    }
+}
+
+/// Persists a freshly compiled program for `em`.
+pub(crate) fn store_program(em: &ElabModule, prog: &CompiledModule) {
+    if let Some(cache) = program_cache() {
+        let (key, digest) = program_key(em);
+        cache.store(&key, digest, &prog.encode());
+    }
+}

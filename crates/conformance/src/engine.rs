@@ -463,12 +463,21 @@ pub(crate) fn sim_plan(d: &Design, width: u64) -> Result<Arc<SimPlan>, String> {
 fn sim_plan_uncached(d: &Design, width: u64) -> Result<SimPlan, String> {
     let em = elab(d, width)?;
     let prog = transform_arc(d)?;
-    let chisel = match compile_chisel(&em) {
-        Ok(p) => Some(Arc::new(p)),
-        Err(_) => {
-            telemetry::counter("conformance.sim.chisel_compile_fallback", 1);
-            None
-        }
+    // The persistent artifact cache (when installed) is consulted before
+    // compiling: a hit skips the whole lowering; a fresh compile is stored
+    // for the next process.
+    let chisel = match crate::cache::cached_program(&em) {
+        Some(p) => Some(Arc::new(p)),
+        None => match compile_chisel(&em) {
+            Ok(p) => {
+                crate::cache::store_program(&em, &p);
+                Some(Arc::new(p))
+            }
+            Err(_) => {
+                telemetry::counter("conformance.sim.chisel_compile_fallback", 1);
+                None
+            }
+        },
     };
     let params: BTreeMap<String, BigInt> =
         [("len".to_string(), BigInt::from(width))].into_iter().collect();

@@ -236,6 +236,34 @@ pub fn prove_net_with(
     var_order: &[Net],
     opt: OptProfile,
 ) -> ProveResult {
+    // Content-addressed certificate cache (when installed): the key is the
+    // canonical obligation transcript, so a hit is the *same* obligation
+    // proved earlier — serve its result. Cached counterexamples are
+    // re-evaluated against the live netlist before being trusted.
+    let key = if crate::cache::prove_cache_installed() {
+        let key = crate::cache::prove_key(nl, root, backend, width, var_order, opt);
+        if let Some(result) = crate::cache::cached_prove(&key, nl, root) {
+            return result;
+        }
+        Some(key)
+    } else {
+        None
+    };
+    let result = prove_net_uncached(nl, root, backend, width, var_order, opt);
+    if let Some(key) = &key {
+        crate::cache::store_prove(key, &result);
+    }
+    result
+}
+
+fn prove_net_uncached(
+    nl: &Netlist,
+    root: Net,
+    backend: Backend,
+    width: usize,
+    var_order: &[Net],
+    opt: OptProfile,
+) -> ProveResult {
     let resolved = backend.resolve(width);
     if !opt.enabled {
         return match resolved {

@@ -8,6 +8,7 @@
 pub mod aig;
 pub mod bdd;
 pub mod bitblast;
+pub mod cache;
 pub mod check;
 pub mod cnf;
 pub mod netlist;

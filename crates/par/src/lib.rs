@@ -15,6 +15,10 @@
 
 #![warn(missing_docs)]
 
+pub mod steal;
+
+pub use steal::{JobHandle, PoolStats, StealPool};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

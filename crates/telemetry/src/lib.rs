@@ -45,10 +45,12 @@
 
 mod chrome;
 mod collect;
+pub mod digest;
 mod json;
 mod report;
 
 pub use chrome::chrome_trace;
+pub use digest::{fnv128, fnv64, Fnv128};
 pub use collect::{
     counter, enabled, event, record, reset, set_enabled, snapshot, start_span, EventRecord,
     Hist, HistSummary, Snapshot, Span, SpanRecord,

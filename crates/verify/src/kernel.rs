@@ -250,6 +250,33 @@ impl Env {
         self.lemmas.keys().cloned().collect()
     }
 
+    /// Hashes the environment's logical content — definitions, lemma
+    /// statements, and trusted axiom names — into `h`, in deterministic
+    /// (`BTreeMap`/insertion) order. [`Limits`] are deliberately excluded:
+    /// they bound the automatic core's *search*, never what is provable,
+    /// so a proof found under one limit set is valid under any other.
+    ///
+    /// This is the environment component of the VC-cache key
+    /// ([`crate::cache`]): two `Env`s with equal digests admit exactly the
+    /// same theorems.
+    pub fn content_digest(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.defs.len().hash(h);
+        for (name, def) in &self.defs {
+            name.hash(h);
+            def.params.hash(h);
+            def.body.hash(h);
+        }
+        self.lemmas.len().hash(h);
+        for (name, lemma) in &self.lemmas {
+            name.hash(h);
+            lemma.vars.hash(h);
+            lemma.hyps.hash(h);
+            lemma.concl.hash(h);
+        }
+        self.axioms.hash(h);
+    }
+
     /// Admits a lemma without proof. This is the trusted base: only
     /// `axioms::install` and tests should call it.
     pub fn assume_axiom(&mut self, lemma: Lemma) {

@@ -14,6 +14,7 @@
 //!   widths" to invariant preservation plus a termination measure.
 
 mod axioms;
+pub mod cache;
 mod kernel;
 mod linarith;
 mod poly;

@@ -643,7 +643,21 @@ pub fn prepare_env(env: &mut Env, spec: &DesignSpec) -> Result<(), VcError> {
 /// Returns the kernel's error wrapped as [`VcError::Failed`].
 pub fn discharge_vc(env: &Env, vc: &Vc, proof: &Proof) -> Result<(), VcError> {
     let _span = telemetry::span!("vc:{}", vc.name);
+    // Content-addressed discharge cache (when installed): a hit means this
+    // exact (environment, statement, script) triple was proved before.
+    // Only successes are ever recorded, so failures always re-run.
+    let cache = crate::cache::VcCacheEntry::open(env, vc, proof);
+    if let Some(entry) = &cache {
+        if entry.hit() {
+            return Ok(());
+        }
+    }
     let result = env.prove(&vc.hyps, &vc.goal, proof);
+    if result.is_ok() {
+        if let Some(entry) = &cache {
+            entry.record_proved();
+        }
+    }
     if let Err(error) = &result {
         // Capturable replacement for the old stderr-only failure path.
         telemetry::event(

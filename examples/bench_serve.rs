@@ -1,0 +1,288 @@
+//! Verification-service benchmark: cold-vs-warm latency and sustained
+//! throughput of the cached prove/vc/conformance pipeline, written to
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release --example bench_serve            # full soak
+//! cargo run --release --example bench_serve -- --smoke # CI smoke mode
+//! ```
+//!
+//! The bench drives the in-process [`chicala::serve::Server`] (the same
+//! dispatch the daemon speaks) over a fresh content-addressed store:
+//!
+//! 1. **dedup burst** — one heavy prove request issued from 6 threads at
+//!    once; the pool must coalesce the concurrent twins onto one proof
+//!    (`inflight_dedup > 0`) and hand every thread byte-identical results;
+//! 2. **cold** — one request per mix entry against the empty store: every
+//!    design's conformance report and a gate-level prove for each design
+//!    with a golden model;
+//! 3. **warm** — the identical requests against the same server: obligation
+//!    memo + persistent store hits. Results are asserted byte-identical to
+//!    the cold phase — a cached proof must be indistinguishable from a
+//!    fresh one;
+//! 4. **restart** — a new server over the same store root (fresh memo,
+//!    fresh pool — the daemon-restart case): byte-identity again, latency
+//!    shows what persistence alone buys;
+//! 5. **soak** — the full mix repeated for several rounds, sequentially,
+//!    measuring sustained warm req/s.
+//!
+//! The headline claim checked here (hard assert in full mode): the median
+//! warm speedup over the *proof-bearing* requests (`prove` +
+//! `conformance`, whose artifacts persist) is at least 5x. The `vc` op is
+//! deliberately not in the mix: per-VC outcomes near its wall-clock
+//! deadline are not byte-stable run-to-run, and this bench's central
+//! assertion is byte-identity (`tests/serve.rs` covers the vc path).
+//!
+//! Knobs: `CHICALA_BENCH_OUT` (output path, default `BENCH_serve.json`).
+
+use chicala::conformance::all_designs;
+use chicala::serve::{CacheHandle, Server, Store};
+use chicala::telemetry::JsonValue;
+use chicala::trace::json;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+struct Req {
+    label: String,
+    line: String,
+    /// Counts toward the warm-speedup gate (its artifact persists).
+    proof_bearing: bool,
+}
+
+struct Timing {
+    cold_us: u64,
+    warm_us: u64,
+    restart_us: u64,
+}
+
+fn mix(smoke: bool) -> Vec<Req> {
+    let mut mix = Vec::new();
+    let (cases, conf_width) = if smoke { (4, 8) } else { (8, 12) };
+    for d in all_designs() {
+        mix.push(Req {
+            label: format!("conformance:{}", d.name),
+            line: format!(
+                r#"{{"op":"conformance","design":"{}","seed":1,"cases":{cases},"max_width":{conf_width},"layers":"cosim,spec"}}"#,
+                d.name
+            ),
+            proof_bearing: true,
+        });
+        if d.gate_spec.is_some() {
+            let width = d.gate_max_width.min(if smoke { 8 } else { 14 }).max(d.min_width);
+            mix.push(Req {
+                label: format!("prove:{}@{width}", d.name),
+                line: format!(
+                    r#"{{"op":"prove","design":"{}","width":{width}}}"#,
+                    d.name
+                ),
+                proof_bearing: true,
+            });
+        }
+    }
+    mix
+}
+
+/// Sends one line, asserts the envelope is ok, returns (result bytes, µs).
+fn timed(server: &Server, label: &str, line: &str) -> (String, u64) {
+    let t = Instant::now();
+    let resp = server.handle_line(line);
+    let us = t.elapsed().as_micros() as u64;
+    let v = json::parse(&resp).unwrap_or_else(|e| panic!("{label}: bad response JSON: {e}"));
+    assert_eq!(
+        json::get(&v, "ok"),
+        Some(&JsonValue::Bool(true)),
+        "{label}: request failed: {resp}"
+    );
+    (json::get(&v, "result").expect("ok response has result").to_string(), us)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let started = Instant::now();
+    let root = std::path::PathBuf::from(format!(
+        "target/chicala-cache-bench-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = Arc::new(Server::new(Some(CacheHandle::new(Arc::new(Store::open(&root))))));
+
+    // Phase 1: concurrent duplicate burst — in-flight deduplication.
+    let burst_width = if smoke { 8 } else { 16 };
+    let burst_line =
+        format!(r#"{{"op":"prove","design":"rmul","width":{burst_width}}}"#);
+    let barrier = Arc::new(Barrier::new(6));
+    let threads: Vec<_> = (0..6)
+        .map(|i| {
+            let s = Arc::clone(&server);
+            let b = Arc::clone(&barrier);
+            let line = burst_line.clone();
+            std::thread::spawn(move || {
+                b.wait();
+                timed(&s, &format!("burst[{i}]"), &line).0
+            })
+        })
+        .collect();
+    let burst_results: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    for r in &burst_results[1..] {
+        assert_eq!(r, &burst_results[0], "burst results must be byte-identical");
+    }
+    let inflight_dedup = {
+        let stats = server.stats_json();
+        json::get(json::get(&stats, "pool").unwrap(), "inflight_dedup")
+            .and_then(json::as_u64)
+            .unwrap_or(0)
+    };
+    println!("dedup burst: 6 identical prove requests, inflight_dedup = {inflight_dedup}");
+
+    // Phase 2 + 3: cold then warm on the same server.
+    let mix = mix(smoke);
+    let mut results: Vec<String> = Vec::new();
+    let mut timings: Vec<Timing> = Vec::new();
+    println!("\n{:<22} {:>12} {:>12} {:>12} {:>9}", "request", "cold", "warm", "restart", "speedup");
+    for req in &mix {
+        let (bytes, cold_us) = timed(&server, &req.label, &req.line);
+        results.push(bytes);
+        timings.push(Timing { cold_us, warm_us: 0, restart_us: 0 });
+    }
+    for (i, req) in mix.iter().enumerate() {
+        let (bytes, warm_us) = timed(&server, &req.label, &req.line);
+        assert_eq!(
+            bytes, results[i],
+            "{}: warm result must be byte-identical to cold",
+            req.label
+        );
+        timings[i].warm_us = warm_us;
+    }
+    let stats_first = server.stats_json();
+
+    // Phase 4: restart — new server, same store. Persistence must carry
+    // the artifacts across; results must still be byte-identical.
+    drop(server);
+    let server = Arc::new(Server::new(Some(CacheHandle::new(Arc::new(Store::open(&root))))));
+    for (i, req) in mix.iter().enumerate() {
+        let (bytes, restart_us) = timed(&server, &req.label, &req.line);
+        assert_eq!(
+            bytes, results[i],
+            "{}: post-restart result must be byte-identical to cold",
+            req.label
+        );
+        timings[i].restart_us = restart_us;
+    }
+    for (req, t) in mix.iter().zip(&timings) {
+        println!(
+            "{:<22} {:>10}us {:>10}us {:>10}us {:>8.1}x",
+            req.label,
+            t.cold_us,
+            t.warm_us,
+            t.restart_us,
+            t.cold_us as f64 / t.warm_us.max(1) as f64
+        );
+    }
+
+    // Phase 5: sustained warm throughput.
+    let rounds = if smoke { 1 } else { 5 };
+    let soak_t = Instant::now();
+    let mut soak_requests = 0u64;
+    for _ in 0..rounds {
+        for (i, req) in mix.iter().enumerate() {
+            let (bytes, _) = timed(&server, &req.label, &req.line);
+            assert_eq!(bytes, results[i], "{}: soak result drifted", req.label);
+            soak_requests += 1;
+        }
+    }
+    let soak_elapsed = soak_t.elapsed();
+    let req_per_s = soak_requests as f64 / soak_elapsed.as_secs_f64();
+    println!(
+        "\nsoak: {soak_requests} requests in {:.2?} — {req_per_s:.0} req/s sustained (warm)",
+        soak_elapsed
+    );
+
+    let proof_speedups: Vec<f64> = mix
+        .iter()
+        .zip(&timings)
+        .filter(|(r, _)| r.proof_bearing)
+        .map(|(_, t)| t.cold_us as f64 / t.warm_us.max(1) as f64)
+        .collect();
+    let median_speedup = median(proof_speedups.clone());
+    let min_speedup = proof_speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let median_cold =
+        median(mix.iter().zip(&timings).filter(|(r, _)| r.proof_bearing).map(|(_, t)| t.cold_us as f64).collect());
+    let median_warm =
+        median(mix.iter().zip(&timings).filter(|(r, _)| r.proof_bearing).map(|(_, t)| t.warm_us as f64).collect());
+    println!(
+        "proof-bearing warm speedup: median {median_speedup:.1}x, min {min_speedup:.1}x \
+         (median cold {median_cold:.0}us -> warm {median_warm:.0}us)"
+    );
+
+    let rows: Vec<JsonValue> = mix
+        .iter()
+        .zip(&timings)
+        .map(|(r, t)| {
+            JsonValue::obj()
+                .set("label", JsonValue::str(r.label.clone()))
+                .set("proof_bearing", JsonValue::Bool(r.proof_bearing))
+                .set("cold_us", JsonValue::int(t.cold_us))
+                .set("warm_us", JsonValue::int(t.warm_us))
+                .set("restart_us", JsonValue::int(t.restart_us))
+                .set(
+                    "speedup",
+                    JsonValue::Num(t.cold_us as f64 / t.warm_us.max(1) as f64),
+                )
+        })
+        .collect();
+    let out = JsonValue::obj()
+        .set("smoke", JsonValue::Bool(smoke))
+        .set("designs", JsonValue::int(all_designs().len() as u64))
+        .set("byte_identity", JsonValue::Bool(true))
+        .set("inflight_dedup", JsonValue::int(inflight_dedup))
+        .set("requests", JsonValue::Arr(rows))
+        .set(
+            "proof_bearing",
+            JsonValue::obj()
+                .set("median_cold_us", JsonValue::Num(median_cold))
+                .set("median_warm_us", JsonValue::Num(median_warm))
+                .set("median_speedup", JsonValue::Num(median_speedup))
+                .set("min_speedup", JsonValue::Num(min_speedup)),
+        )
+        .set(
+            "soak",
+            JsonValue::obj()
+                .set("rounds", JsonValue::int(rounds))
+                .set("requests", JsonValue::int(soak_requests))
+                .set("elapsed_ms", JsonValue::int(soak_elapsed.as_millis() as u64))
+                .set("req_per_s", JsonValue::Num(req_per_s)),
+        )
+        .set("stats", stats_first);
+    let out_path =
+        std::env::var("CHICALA_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    std::fs::write(&out_path, out.pretty())?;
+    println!("wrote {out_path} (wall time {:.1?})", started.elapsed());
+
+    CacheHandle::uninstall_all();
+    let _ = std::fs::remove_dir_all(&root);
+
+    if !smoke {
+        assert!(
+            inflight_dedup > 0,
+            "expected the duplicate burst to coalesce at least one in-flight proof"
+        );
+        assert!(
+            median_speedup >= 5.0,
+            "median warm speedup on proof-bearing requests was {median_speedup:.1}x (< 5x)"
+        );
+    } else if inflight_dedup == 0 || median_speedup < 5.0 {
+        println!(
+            "smoke note: inflight_dedup={inflight_dedup}, median_speedup={median_speedup:.1}x \
+             (thresholds only enforced in the full run)"
+        );
+    }
+    Ok(())
+}

@@ -16,6 +16,7 @@ pub use chicala_lowlevel as lowlevel;
 pub use chicala_par as par;
 pub use chicala_sat as sat;
 pub use chicala_seq as seq;
+pub use chicala_serve as serve;
 pub use chicala_telemetry as telemetry;
 pub use chicala_trace as trace;
 pub use chicala_verify as verify;
