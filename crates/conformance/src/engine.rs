@@ -28,8 +28,8 @@ use chicala_chisel::{
 };
 use chicala_core::transform;
 use chicala_lowlevel::{
-    constant_word, fresh_inputs, prove_net, unroll, Backend, Net, Netlist, ProveResult,
-    UnrolledState, Word,
+    constant_word, fresh_inputs, prove_net, prove_net_sweep_scheduled, sweep_pool, unroll,
+    Backend, Net, Netlist, OptProfile, ProveResult, SweepItem, SweepReport, UnrolledState, Word,
 };
 use chicala_par::ThreadPool;
 use chicala_seq::{compile_seq, SValue, SeqCompiled, SeqProgram, SeqRunner, SeqVm};
@@ -849,6 +849,65 @@ pub fn formal_gate_obligation(d: &Design, width: u64) -> Result<Option<FormalObl
     Ok(Some(FormalObligation { netlist: nl, property, var_order, inputs, state, golden }))
 }
 
+/// A formal obligation built into a caller-owned shared [`Netlist`] kit —
+/// the width-sweep variant of [`FormalObligation`]. All widths of one
+/// design share the kit (and, via `shared_inputs`, the per-(port, bit)
+/// input nets), so structure common across widths hash-conses to the same
+/// nets and a sweep session can skip re-lowering it.
+pub struct SharedObligation {
+    /// Single-bit property net in the shared kit.
+    pub property: Net,
+    /// Interleaved input bits (same order as [`FormalObligation`]).
+    pub var_order: Vec<Net>,
+    /// Symbolic input words by port name (shared nets across widths).
+    pub inputs: BTreeMap<String, Word<Net>>,
+    /// The design's symbolic state after its full latency.
+    pub state: UnrolledState<Net>,
+    /// Golden-cone words noted by the spec builder.
+    pub golden: BTreeMap<String, Word<Net>>,
+}
+
+/// Builds the formal obligation for `d` at `width` into a caller-owned
+/// netlist kit, reusing input nets per (port, bit) across calls. Repeated
+/// calls at ascending widths make the kit a hash-consed union of the whole
+/// width family: every sub-expression whose structure is width-independent
+/// (low-order adder chains, partial-product rows, …) resolves to the same
+/// [`Net`] at every width that contains it.
+pub fn formal_gate_obligation_shared(
+    d: &Design,
+    width: u64,
+    nl: &mut Netlist,
+    shared_inputs: &mut BTreeMap<(String, usize), Net>,
+) -> Result<Option<SharedObligation>, String> {
+    let Some(gate_spec) = d.gate_spec else { return Ok(None) };
+    let em = elab(d, width)?;
+    let inputs = fresh_inputs(
+        &em,
+        |name, i, kit: &mut Netlist| {
+            *shared_inputs
+                .entry((name.to_string(), i))
+                .or_insert_with(|| kit.input())
+        },
+        nl,
+    );
+    let latency = (d.latency)(width);
+    let state = unroll(&em, nl, &inputs, &BTreeMap::new(), latency as usize)
+        .map_err(|e| format!("{}: formal unroll at width {width}: {e}", d.name))?;
+    let env = GateEnv::new(width, &inputs, &state);
+    let property = gate_spec(nl, &env);
+    let golden = env.golden.into_inner();
+    let max_w = inputs.values().map(|w| w.width()).max().unwrap_or(0);
+    let mut var_order = Vec::new();
+    for i in 0..max_w {
+        for w in inputs.values() {
+            if i < w.width() {
+                var_order.push(w.bits[i]);
+            }
+        }
+    }
+    Ok(Some(SharedObligation { property, var_order, inputs, state, golden }))
+}
+
 /// The value of a netlist word under an evaluation of the whole netlist.
 pub(crate) fn word_value(word: &Word<Net>, vals: &[bool]) -> BigInt {
     let mut v = BigInt::zero();
@@ -865,6 +924,11 @@ pub(crate) fn word_value(word: &Word<Net>, vals: &[bool]) -> BigInt {
 /// concrete gates case at the same width shares one proof. The result is a
 /// pure function of (design, width), which keeps reports deterministic
 /// regardless of which worker primes the cache.
+///
+/// With `CHICALA_SWEEP` set, the first touch of a design sweeps its whole
+/// `min_width..=gate_max_width` family through one incremental session
+/// ([`sweep_gates_formal`]) and fills the memo for every width at once;
+/// per-width entries are byte-identical to the one-shot path either way.
 fn check_gates_formal(d: &Design, width: u64) -> Result<(), String> {
     if d.gate_spec.is_none() {
         return Ok(());
@@ -876,9 +940,83 @@ fn check_gates_formal(d: &Design, width: u64) -> Result<(), String> {
     if let Some(r) = memo.lock().expect("memo lock").get(&key) {
         return r.clone();
     }
+    if std::env::var_os("CHICALA_SWEEP").is_some() {
+        let widths: Vec<u64> = (d.min_width..=d.gate_max_width).collect();
+        if let Ok((_, per_width)) = sweep_gates_formal(d, &widths, false) {
+            let mut memo = memo.lock().expect("memo lock");
+            for (w, r) in per_width {
+                memo.insert((d.name.to_string(), w), r);
+            }
+            if let Some(r) = memo.get(&key) {
+                return r.clone();
+            }
+        }
+        // Requested width outside the registered family (or the sweep
+        // could not build): fall through to the one-shot path.
+    }
     let r = check_gates_formal_uncached(d, width);
     memo.lock().expect("memo lock").insert(key, r.clone());
     r
+}
+
+/// Per-width gate verdicts from a sweep: `(width, Ok(()) | Err(report))`,
+/// byte-identical to what [`check_gates_formal`] returns width by width.
+pub type SweepVerdicts = Vec<(u64, Result<(), String>)>;
+
+/// Sweeps a design's formal gate obligations at `widths` (ascending)
+/// through one incremental SAT session on the scheduler pool: the whole
+/// family shares a hash-consed kit ([`formal_gate_obligation_shared`]),
+/// widths below the `Auto` crossover race a BDD pool job against the
+/// session, and every proved width primes the next one's query.
+///
+/// Returns the raw [`SweepReport`] plus the per-width gate verdicts. The
+/// verdicts are byte-identical to [`check_gates_formal`]'s one-shot path:
+/// proved widths are `Ok(())` either way, and a counterexample is
+/// re-derived by the one-shot engine itself (the session only routes).
+/// `verify_ab` re-proves every width one-shot and counts disagreements in
+/// [`chicala_lowlevel::SweepStats::divergences`] — the CI tripwire.
+pub fn sweep_gates_formal(
+    d: &Design,
+    widths: &[u64],
+    verify_ab: bool,
+) -> Result<(SweepReport, SweepVerdicts), String> {
+    let _span = telemetry::span!("sweep_gates_formal:{}", d.name);
+    let mut kit = Netlist::new();
+    let mut shared_inputs = BTreeMap::new();
+    let mut obs = Vec::with_capacity(widths.len());
+    for &w in widths {
+        let Some(ob) = formal_gate_obligation_shared(d, w, &mut kit, &mut shared_inputs)? else {
+            return Err(format!("{}: no gate spec to sweep", d.name));
+        };
+        obs.push((w, ob));
+    }
+    let items: Vec<SweepItem<'_>> = obs
+        .iter()
+        .map(|(w, ob)| SweepItem {
+            nl: &kit,
+            root: ob.property,
+            width: *w,
+            var_order: ob.var_order.clone(),
+        })
+        .collect();
+    let backend = Backend::from_env().unwrap_or(Backend::Auto);
+    let report =
+        prove_net_sweep_scheduled(sweep_pool(), &items, backend, OptProfile::from_env(), verify_ab);
+    let per_width = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let r = if o.result.is_proved() {
+                Ok(())
+            } else {
+                // The one-shot path owns counterexample decoding and its
+                // error bytes; re-deriving keeps the memo entry identical.
+                check_gates_formal_uncached(d, o.width)
+            };
+            (o.width, r)
+        })
+        .collect();
+    Ok((report, per_width))
 }
 
 fn check_gates_formal_uncached(d: &Design, width: u64) -> Result<(), String> {

@@ -13,6 +13,7 @@ pub mod check;
 pub mod cnf;
 pub mod netlist;
 pub mod opt;
+pub mod sweep;
 pub mod verilog;
 
 pub use aig::{from_netlist, Aig, AigNode, AigRef, AIG_FALSE, AIG_TRUE};
@@ -25,7 +26,11 @@ pub use check::{
     prove_net_with, unroll, words_equal, Backend, ProveResult, UnrolledState,
     AUTO_SAT_CROSSOVER_WIDTH,
 };
-pub use cnf::{tseitin, tseitin_pg, CnfRoot};
+pub use cnf::{tseitin, tseitin_pg, CnfFrame, CnfRoot, FrameStats};
+pub use sweep::{
+    prove_net_sweep, prove_net_sweep_drill, prove_net_sweep_scheduled, sweep_pool,
+    IncrementalProver, SweepItem, SweepOutcome, SweepReport, SweepStats, SweepVerdict, WidthProbe,
+};
 pub use netlist::{Gate, Net, Netlist};
 pub use opt::{
     certify, Balance, CertFailure, CertMode, OptOutcome, OptProfile, Pass, PassManager, PassStats,

@@ -27,7 +27,7 @@ pub enum Gate {
 }
 
 /// A netlist builder with structural hashing.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Netlist {
     gates: Vec<Gate>,
     hash: HashMap<Gate, Net>,

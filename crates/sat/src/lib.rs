@@ -14,7 +14,14 @@
 //!   clauses are kept).
 //!
 //! The API is deliberately small: [`Solver::new_var`], [`Solver::add_clause`],
-//! [`Solver::solve`], and [`Stats`] for observability.
+//! [`Solver::solve`], and [`Stats`] for observability. Incremental use goes
+//! through [`Solver::solve_assuming`]: assumptions are placed as
+//! pseudo-decisions below the search, the clause database, variable
+//! activities, and saved phases all survive across calls, and an UNSAT
+//! answer exposes the subset of assumptions that caused it via
+//! [`Solver::assumption_core`]. [`Solver::push_clauses`] (and `add_clause`
+//! itself) may be called with a live trail; the solver backtracks to the
+//! root first.
 //!
 //! # Examples
 //!
@@ -293,6 +300,10 @@ pub struct Solver {
     to_clear: Vec<Var>,
     /// Set once an empty clause is derived at level 0.
     unsat: bool,
+    /// Assumptions pinned by the current/last `solve_assuming` call.
+    assumptions: Vec<Lit>,
+    /// On assumption-caused UNSAT: the failing subset of the assumptions.
+    core: Vec<Lit>,
     stats: Stats,
     /// Conflicts in the current Luby restart interval.
     restart_conflicts: u64,
@@ -331,6 +342,8 @@ impl Solver {
             seen: Vec::new(),
             to_clear: Vec::new(),
             unsat: false,
+            assumptions: Vec::new(),
+            core: Vec::new(),
             stats: Stats::default(),
             restart_conflicts: 0,
             restart_base: 100,
@@ -393,8 +406,13 @@ impl Solver {
 
     /// Adds a clause over existing variables. Returns `false` when the
     /// clause (after level-0 simplification) is already contradictory.
+    ///
+    /// Safe under a live trail: the solver first backtracks to the root,
+    /// undoing any decisions (and assumption pseudo-decisions) left by a
+    /// previous `solve_assuming`/`solve_limited` call. Learnt clauses and
+    /// activities are untouched.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        debug_assert_eq!(self.decision_level(), 0, "clauses are added at the root");
+        self.cancel_until(0);
         if self.unsat {
             return false;
         }
@@ -436,6 +454,17 @@ impl Solver {
                 true
             }
         }
+    }
+
+    /// Adds a batch of clauses, backtracking to the root first. Returns
+    /// `false` when the formula became contradictory at level 0.
+    pub fn push_clauses(&mut self, clauses: &[Vec<Lit>]) -> bool {
+        self.cancel_until(0);
+        let mut ok = true;
+        for c in clauses {
+            ok &= self.add_clause(c);
+        }
+        ok
     }
 
     fn attach_new(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
@@ -659,6 +688,45 @@ impl Solver {
         true
     }
 
+    /// Final-conflict analysis: `failed` is an assumption found false while
+    /// placing assumptions. Walks the implication trail backwards from
+    /// `¬failed`'s reasons and collects the subset of assumption literals
+    /// (as passed by the caller) that together force the contradiction.
+    /// The result lands in `self.core`.
+    fn analyze_final(&mut self, failed: Lit) {
+        self.core.clear();
+        self.core.push(failed);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[failed.var() as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let v = q.var() as usize;
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                None => {
+                    // A decision above level 0 during assumption placement
+                    // is itself an assumption: it joins the core verbatim.
+                    debug_assert!(self.level[v] > 0);
+                    self.core.push(q);
+                }
+                Some(cr) => {
+                    for k in 1..self.clauses[cr as usize].lits.len() {
+                        let l = self.clauses[cr as usize].lits[k];
+                        if self.level[l.var() as usize] > 0 {
+                            self.seen[l.var() as usize] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[failed.var() as usize] = false;
+    }
+
     fn cancel_until(&mut self, level: u32) {
         if self.decision_level() <= level {
             return;
@@ -716,22 +784,57 @@ impl Solver {
     }
 
     /// Solves the current formula. See [`Solver::solve_limited`] for a
-    /// conflict-bounded variant.
+    /// conflict-bounded variant and [`Solver::solve_assuming`] for the
+    /// incremental entry point.
     pub fn solve(&mut self) -> SatResult {
         self.solve_limited(u64::MAX).expect("unbounded solve terminates")
     }
 
     /// Solves with a conflict budget; `None` when the budget is exhausted
     /// before an answer (the solver state remains valid: more calls with a
-    /// fresh budget continue the search).
+    /// fresh budget continue the search). The budget is strictly
+    /// **per-call**: each invocation analyses at most `max_conflicts`
+    /// conflicts regardless of how many earlier calls spent.
     pub fn solve_limited(&mut self, max_conflicts: u64) -> Option<SatResult> {
+        self.solve_assuming_limited(&[], max_conflicts)
+    }
+
+    /// Solves under the given assumptions, which act as pseudo-decisions
+    /// below the search. The clause database, learnt clauses, variable
+    /// activities, and saved phases persist across calls, so repeated
+    /// nearby queries get dramatically cheaper. On `Unsat` caused by the
+    /// assumptions, [`Solver::assumption_core`] holds a failing subset; an
+    /// empty core means the formula is unsatisfiable outright.
+    pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_assuming_limited(assumptions, u64::MAX)
+            .expect("unbounded solve terminates")
+    }
+
+    /// [`Solver::solve_assuming`] with a per-call conflict budget; `None`
+    /// when the budget runs out first. Re-calling with the *same*
+    /// assumptions resumes the search in place; changing the assumptions
+    /// backtracks to the root and starts the new query (keeping all learnt
+    /// state).
+    pub fn solve_assuming_limited(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> Option<SatResult> {
+        self.core.clear();
         if self.unsat {
             return Some(SatResult::Unsat);
+        }
+        if assumptions != self.assumptions.as_slice() {
+            self.cancel_until(0);
+            self.assumptions = assumptions.to_vec();
         }
         if self.max_learnts == 0.0 {
             self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
         }
-        let mut budget = max_conflicts;
+        // Per-call budget: this invocation analyses at most `max_conflicts`
+        // conflicts (a zero budget still analyses one, so the trail is
+        // never left pointing at an unprocessed conflict).
+        let mut budget = max_conflicts.max(1);
         let mut restart_limit = self.restart_base * luby(self.stats.restarts);
         loop {
             if let Some(confl) = self.propagate() {
@@ -755,14 +858,16 @@ impl Solver {
                 }
                 self.var_inc *= VAR_DECAY;
                 self.cla_inc *= CLA_DECAY;
+                budget -= 1;
                 if budget == 0 {
                     return None;
                 }
-                budget -= 1;
                 if self.restart_conflicts >= restart_limit {
                     self.stats.restarts += 1;
                     self.restart_conflicts = 0;
                     restart_limit = self.restart_base * luby(self.stats.restarts);
+                    // Restarts cancel to the root; assumptions are simply
+                    // re-placed by the decision loop below.
                     self.cancel_until(0);
                 }
             } else {
@@ -770,7 +875,32 @@ impl Solver {
                     self.reduce_db();
                     self.max_learnts *= 1.1;
                 }
-                match self.pick_branch() {
+                // Place pending assumptions as pseudo-decisions before any
+                // real branching.
+                let next = loop {
+                    let dl = self.decision_level() as usize;
+                    if dl < self.assumptions.len() {
+                        let p = self.assumptions[dl];
+                        match self.value_lit(p) {
+                            LBool::True => {
+                                // Already satisfied: open an empty level so
+                                // assumption index == decision level stays.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            LBool::False => {
+                                // The other assumptions (or the formula)
+                                // force ¬p: extract the failing subset.
+                                self.analyze_final(p);
+                                self.cancel_until(0);
+                                return Some(SatResult::Unsat);
+                            }
+                            LBool::Undef => break Some(p),
+                        }
+                    } else {
+                        break self.pick_branch();
+                    }
+                };
+                match next {
                     None => {
                         let model = self
                             .assigns
@@ -778,8 +908,8 @@ impl Solver {
                             .map(|a| *a == LBool::True)
                             .collect();
                         // Leave the solver reusable: drop to the root.
-                        let res = SatResult::Sat(model);
-                        return Some(res);
+                        self.cancel_until(0);
+                        return Some(SatResult::Sat(model));
                     }
                     Some(l) => {
                         self.stats.decisions += 1;
@@ -789,6 +919,13 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// After an assumption-caused `Unsat` from [`Solver::solve_assuming`]:
+    /// the failing subset of the passed assumptions. Empty when the last
+    /// `Unsat` was unconditional (or the last answer was `Sat`).
+    pub fn assumption_core(&self) -> &[Lit] {
+        &self.core
     }
 }
 
@@ -1078,6 +1215,241 @@ mod tests {
         };
         assert_eq!(out, SatResult::Unsat);
         assert!(rounds > 1, "budget of 50 conflicts must be exhausted at least once");
+    }
+
+    /// Seeded xorshift for the incremental A/B tests.
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        }
+    }
+
+    fn random_3sat(next: &mut impl FnMut() -> u64, nvars: usize, nclauses: usize) -> Vec<Vec<i32>> {
+        let mut cs = Vec::new();
+        for _ in 0..nclauses {
+            let mut c: Vec<i32> = Vec::new();
+            while c.len() < 3 {
+                let v = (next() % nvars as u64) as i32 + 1;
+                let l = if next() & 1 == 0 { v } else { -v };
+                if !c.contains(&l) && !c.contains(&-l) {
+                    c.push(l);
+                }
+            }
+            cs.push(c);
+        }
+        cs
+    }
+
+    #[test]
+    fn solve_assuming_agrees_with_oneshot_on_random_cnfs() {
+        // One persistent solver answers a sequence of assumption queries;
+        // each answer must match a fresh one-shot solver given the same
+        // clauses plus the assumptions as units. This exercises clause-DB
+        // and activity retention across calls on both SAT and UNSAT
+        // queries.
+        let mut next = rng(0xD1B54A32D192ED03);
+        for round in 0..20 {
+            let nvars = 10usize;
+            let cs = random_3sat(&mut next, nvars, 34 + (round % 12));
+            let refs: Vec<&[i32]> = cs.iter().map(|c| c.as_slice()).collect();
+            let mut inc = solver_with(nvars, &refs);
+            for query in 0..8 {
+                let mut assumps: Vec<Lit> = Vec::new();
+                for _ in 0..(1 + next() % 3) {
+                    let v = (next() % nvars as u64) as i32 + 1;
+                    let l = if next() & 1 == 0 { v } else { -v };
+                    if !assumps.contains(&lit(l)) && !assumps.contains(&lit(-l)) {
+                        assumps.push(lit(l));
+                    }
+                }
+                let mut oneshot = solver_with(nvars, &refs);
+                for &a in &assumps {
+                    oneshot.add_clause(&[a]);
+                }
+                let want_sat = matches!(oneshot.solve(), SatResult::Sat(_));
+                match inc.solve_assuming(&assumps) {
+                    SatResult::Sat(m) => {
+                        assert!(want_sat, "round {round} query {query}: incremental SAT, oneshot UNSAT");
+                        assert!(satisfies(&m, &refs), "round {round} query {query}: bogus model");
+                        for &a in &assumps {
+                            let v = a.var() as usize;
+                            assert_eq!(m[v], !a.is_neg(), "model violates assumption {a:?}");
+                        }
+                    }
+                    SatResult::Unsat => {
+                        assert!(!want_sat, "round {round} query {query}: incremental UNSAT, oneshot SAT");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assumption_core_is_a_failing_subset() {
+        // (¬a ∨ ¬b) with assumptions [a, b, c]: the core must be a subset
+        // of the assumptions that is itself sufficient for UNSAT — and c
+        // (irrelevant) must not be required.
+        let mut s = solver_with(3, &[&[-1, -2]]);
+        let assumps = [lit(1), lit(2), lit(3)];
+        assert_eq!(s.solve_assuming(&assumps), SatResult::Unsat);
+        let core: Vec<Lit> = s.assumption_core().to_vec();
+        assert!(!core.is_empty(), "assumption failure must produce a core");
+        for l in &core {
+            assert!(assumps.contains(l), "core literal {l:?} was never assumed");
+        }
+        // Replaying the core as units reproduces UNSAT.
+        let mut replay = solver_with(3, &[&[-1, -2]]);
+        for &l in &core {
+            replay.add_clause(&[l]);
+        }
+        assert_eq!(replay.solve(), SatResult::Unsat);
+        // The solver remains usable: dropping the bad assumption is SAT.
+        assert!(matches!(s.solve_assuming(&[lit(1), lit(3)]), SatResult::Sat(_)));
+        // Unconditional UNSAT reports an empty core.
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve_assuming(&[Lit::pos(0)]), SatResult::Unsat);
+        assert!(s.assumption_core().is_empty(), "root UNSAT is not the assumptions' fault");
+    }
+
+    #[test]
+    fn assumption_cores_on_random_unsat_queries() {
+        // Fuzz: whenever an assumption query fails, its reported core must
+        // reproduce UNSAT as unit clauses on a fresh solver.
+        let mut next = rng(0x9E3779B97F4A7C15);
+        let mut failures = 0;
+        for _ in 0..30 {
+            let nvars = 9usize;
+            let cs = random_3sat(&mut next, nvars, 40);
+            let refs: Vec<&[i32]> = cs.iter().map(|c| c.as_slice()).collect();
+            let mut s = solver_with(nvars, &refs);
+            for _ in 0..6 {
+                let mut assumps: Vec<Lit> = Vec::new();
+                for _ in 0..4 {
+                    let v = (next() % nvars as u64) as i32 + 1;
+                    let l = if next() & 1 == 0 { v } else { -v };
+                    if !assumps.contains(&lit(l)) && !assumps.contains(&lit(-l)) {
+                        assumps.push(lit(l));
+                    }
+                }
+                if s.solve_assuming(&assumps) == SatResult::Unsat && !s.assumption_core().is_empty()
+                {
+                    failures += 1;
+                    let core = s.assumption_core().to_vec();
+                    let mut replay = solver_with(nvars, &refs);
+                    for &l in &core {
+                        replay.add_clause(&[l]);
+                    }
+                    assert_eq!(replay.solve(), SatResult::Unsat, "core does not reproduce UNSAT");
+                }
+            }
+        }
+        assert!(failures > 0, "fuzz never produced an assumption failure");
+    }
+
+    #[test]
+    fn activation_literals_retire_clause_groups() {
+        // The sweep pattern: clause groups guarded by activation literals,
+        // queried one at a time, then retired with a unit. Earlier groups
+        // must not leak into later queries.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let acts: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        // Group i asserts x == (i is even), under act_i.
+        for (i, &a) in acts.iter().enumerate() {
+            let want = if i % 2 == 0 { Lit::pos(x) } else { Lit::neg(x) };
+            s.add_clause(&[Lit::neg(a), want]);
+        }
+        for (i, &a) in acts.iter().enumerate() {
+            match s.solve_assuming(&[Lit::pos(a)]) {
+                SatResult::Sat(m) => assert_eq!(m[x as usize], i % 2 == 0, "group {i}"),
+                SatResult::Unsat => panic!("group {i} alone is satisfiable"),
+            }
+            // Retire under a live-trail-free contract: add_clause cancels.
+            assert!(s.add_clause(&[Lit::neg(a)]));
+        }
+        // With every group retired, x is unconstrained.
+        assert!(matches!(s.solve(), SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn solve_limited_budget_is_per_call() {
+        // Each solve_limited call gets a fresh budget: the per-call
+        // conflict delta must never exceed the budget, over many calls.
+        let holes = 6i32;
+        let pigeons = 7i32;
+        let v = |p: i32, h: i32| holes * (p - 1) + h;
+        let mut cs: Vec<Vec<i32>> = Vec::new();
+        for p in 1..=pigeons {
+            cs.push((1..=holes).map(|h| v(p, h)).collect());
+        }
+        for h in 1..=holes {
+            for p1 in 1..=pigeons {
+                for p2 in (p1 + 1)..=pigeons {
+                    cs.push(vec![-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = cs.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with((pigeons * holes) as usize, &refs);
+        let budget = 50u64;
+        let mut rounds = 0u64;
+        let out = loop {
+            rounds += 1;
+            let before = s.stats().conflicts;
+            let r = s.solve_limited(budget);
+            let spent = s.stats().conflicts - before;
+            assert!(
+                spent <= budget,
+                "round {rounds}: call spent {spent} conflicts on a budget of {budget}"
+            );
+            if r.is_none() {
+                assert_eq!(spent, budget, "an exhausted call spends its whole budget");
+            }
+            if let Some(r) = r {
+                break r;
+            }
+            assert!(rounds < 10_000, "PHP(7,6) should finish");
+        };
+        assert_eq!(out, SatResult::Unsat);
+        assert!(rounds > 2, "budget {budget} must be exhausted several times");
+    }
+
+    #[test]
+    fn clause_addition_is_safe_under_a_live_trail() {
+        // Exhaust a budget mid-search (live trail), then add clauses and
+        // keep solving: the answer must match a from-scratch solver.
+        let mut next = rng(0xA0761D6478BD642F);
+        for round in 0..10 {
+            let nvars = 12usize;
+            let base = random_3sat(&mut next, nvars, 30);
+            let extra = random_3sat(&mut next, nvars, 25);
+            let base_refs: Vec<&[i32]> = base.iter().map(|c| c.as_slice()).collect();
+            let mut s = solver_with(nvars, &base_refs);
+            // Leave a live trail behind (budget 1 stops mid-search; if the
+            // instance is too easy the trail is just empty).
+            let _ = s.solve_limited(1);
+            let extra_lits: Vec<Vec<Lit>> = extra
+                .iter()
+                .map(|c| c.iter().map(|&i| lit(i)).collect())
+                .collect();
+            s.push_clauses(&extra_lits);
+            let mut all = base.clone();
+            all.extend(extra.iter().cloned());
+            let all_refs: Vec<&[i32]> = all.iter().map(|c| c.as_slice()).collect();
+            let mut fresh = solver_with(nvars, &all_refs);
+            let want_sat = matches!(fresh.solve(), SatResult::Sat(_));
+            match s.solve() {
+                SatResult::Sat(m) => {
+                    assert!(want_sat, "round {round}: incremental SAT, fresh UNSAT");
+                    assert!(satisfies(&m, &all_refs), "round {round}: bogus model");
+                }
+                SatResult::Unsat => assert!(!want_sat, "round {round}: incremental UNSAT, fresh SAT"),
+            }
+        }
     }
 
     #[test]

@@ -22,10 +22,15 @@
 //! by the canonical obligation digest, so identical *concurrent* proofs
 //! coalesce onto one execution even across connections.
 
-use crate::handle::{CacheHandle, KIND_REPORT};
-use chicala_conformance::{formal_gate_obligation, run_design, Config, Design, FormalObligation, Layer, SimBackend};
+use crate::handle::{CacheHandle, KIND_PROVE, KIND_REPORT};
+use chicala_conformance::{
+    formal_gate_obligation, formal_gate_obligation_shared, run_design, Config, Design,
+    FormalObligation, Layer, SimBackend,
+};
 use chicala_lowlevel::opt::OptProfile;
-use chicala_lowlevel::{prove_net_with, Backend, ProveResult};
+use chicala_lowlevel::{
+    prove_net_sweep_scheduled, prove_net_with, Backend, Netlist, ProveResult, SweepItem,
+};
 use chicala_par::StealPool;
 use chicala_telemetry as telemetry;
 use chicala_telemetry::{fnv128, JsonValue};
@@ -174,6 +179,7 @@ impl Server {
             )),
             "list" => Ok((self.list_designs(), vec![])),
             "prove" => self.op_prove(req),
+            "sweep" => self.op_sweep(req),
             "vc" => self.op_vc(req),
             "conformance" => self.op_conformance(req),
             "stats" => Ok((self.stats_json(), vec![])),
@@ -278,6 +284,116 @@ impl Server {
         });
         let result = handle.join();
         Ok((result, vec![("batched", JsonValue::Bool(batched))]))
+    }
+
+    /// The `sweep` op: proves a design's whole width family through one
+    /// incremental SAT session on the server pool (widths below the `Auto`
+    /// crossover race BDD pool jobs against the session). Per-width result
+    /// rows are byte-identical to the `prove` op for the same width, and —
+    /// when caching is on — each row is stored in the prove cache under
+    /// the same key `prove` uses, so later `prove` requests hit without
+    /// re-proving. Session statistics are timing-dependent (the race
+    /// claims differ run to run) and therefore live in `meta`.
+    fn op_sweep(&self, req: &JsonValue) -> OpOutcome {
+        let design = json::get(req, "design")
+            .and_then(json::as_str)
+            .ok_or("sweep: missing `design`")?;
+        let d = Design::by_name(design).ok_or_else(|| format!("unknown design `{design}`"))?;
+        if d.gate_spec.is_none() {
+            return Err(format!("design `{design}` has no gate-level golden model"));
+        }
+        let lo = json::get(req, "min_width").and_then(json::as_u64).unwrap_or(d.min_width);
+        let hi = json::get(req, "max_width").and_then(json::as_u64).unwrap_or(d.gate_max_width);
+        if lo < d.min_width || hi > d.gate_max_width || lo > hi {
+            return Err(format!(
+                "sweep range {lo}..={hi} outside `{design}` family {}..={}",
+                d.min_width, d.gate_max_width
+            ));
+        }
+        let backend = match json::get(req, "backend").and_then(json::as_str) {
+            Some(s) => parse_backend(s).ok_or_else(|| format!("unknown backend `{s}`"))?,
+            None => Backend::from_env().unwrap_or(Backend::Auto),
+        };
+        let verify_ab = json::get(req, "verify_ab") == Some(&JsonValue::Bool(true));
+        let opt = OptProfile::from_env();
+        // One hash-consed kit for the whole family: the session reuses
+        // every width-independent sub-structure.
+        let mut kit = Netlist::new();
+        let mut shared_inputs = std::collections::BTreeMap::new();
+        let mut obs = Vec::new();
+        for w in lo..=hi {
+            let ob = formal_gate_obligation_shared(&d, w, &mut kit, &mut shared_inputs)?
+                .ok_or_else(|| format!("design `{design}` has no gate-level golden model"))?;
+            obs.push((w, ob));
+        }
+        let items: Vec<SweepItem<'_>> = obs
+            .iter()
+            .map(|(w, ob)| SweepItem {
+                nl: &kit,
+                root: ob.property,
+                width: *w,
+                var_order: ob.var_order.clone(),
+            })
+            .collect();
+        let report = prove_net_sweep_scheduled(&self.pool, &items, backend, opt, verify_ab);
+        let mut rows = Vec::with_capacity(report.outcomes.len());
+        let mut all_proved = true;
+        for o in &report.outcomes {
+            // Byte-identity with the `prove` op: proved rows carry only
+            // the resolved backend tag (same bytes by construction); a
+            // counterexample is re-derived on the per-width obligation so
+            // its net numbering matches what `prove` would report.
+            let result = if o.result.is_proved() {
+                o.result.clone()
+            } else {
+                all_proved = false;
+                let (ob, _) = self.obligation(&d, o.width)?;
+                prove_net_with(
+                    &ob.netlist,
+                    ob.property,
+                    backend,
+                    o.width as usize,
+                    &ob.var_order,
+                    opt,
+                )
+            };
+            if let Some(cache) = &self.cache {
+                // Prime the prove cache under the `prove` op's own key so
+                // later point requests hit byte-identically.
+                let (ob, _) = self.obligation(&d, o.width)?;
+                let key = chicala_lowlevel::cache::prove_key(
+                    &ob.netlist,
+                    ob.property,
+                    backend,
+                    o.width as usize,
+                    &ob.var_order,
+                    opt,
+                );
+                cache.store().store(
+                    KIND_PROVE,
+                    &key.bytes,
+                    key.digest,
+                    &chicala_lowlevel::cache::encode_result(&result),
+                );
+            }
+            rows.push(prove_result_json(design, o.width, &result));
+        }
+        let s = &report.stats;
+        let sweep_meta = JsonValue::obj()
+            .set("widths", JsonValue::int(s.widths))
+            .set("folded", JsonValue::int(s.folded))
+            .set("sat_calls", JsonValue::int(s.sat_calls))
+            .set("new_clauses", JsonValue::int(s.new_clauses))
+            .set("reused_clauses", JsonValue::int(s.reused_clauses))
+            .set("lemmas", JsonValue::int(s.lemmas))
+            .set("divergences", JsonValue::int(s.divergences));
+        let result = JsonValue::obj()
+            .set("design", JsonValue::str(design))
+            .set("min_width", JsonValue::int(lo))
+            .set("max_width", JsonValue::int(hi))
+            .set("all_proved", JsonValue::Bool(all_proved))
+            .set("results", JsonValue::Arr(rows));
+        Ok((result, vec![("sweep", sweep_meta), ("verify_ab", JsonValue::Bool(verify_ab))]))
     }
 
     fn op_vc(&self, req: &JsonValue) -> OpOutcome {
@@ -431,6 +547,7 @@ impl Server {
                     .set("hits", JsonValue::int(s.hits))
                     .set("misses", JsonValue::int(s.misses))
                     .set("evictions", JsonValue::int(s.evictions))
+                    .set("size_evictions", JsonValue::int(s.size_evictions))
                     .set("writes", JsonValue::int(s.writes))
                     .set("bytes_read", JsonValue::int(s.bytes_read))
                     .set("bytes_written", JsonValue::int(s.bytes_written))
@@ -618,6 +735,85 @@ mod tests {
         let batch = json::get(&stats, "batch").unwrap();
         assert_eq!(json::get(batch, "builds").and_then(json::as_u64), Some(1));
         assert_eq!(json::get(batch, "reuses").and_then(json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn sweep_rows_match_prove_op_per_width() {
+        let s = uncached();
+        let sweep = ok_result(&s, r#"{"op":"sweep","design":"rotate","min_width":2,"max_width":9}"#);
+        assert_eq!(json::get(&sweep, "all_proved"), Some(&JsonValue::Bool(true)));
+        let JsonValue::Arr(rows) = json::get(&sweep, "results").unwrap() else {
+            panic!("results is an array")
+        };
+        assert_eq!(rows.len(), 8);
+        for (i, row) in rows.iter().enumerate() {
+            let width = 2 + i as u64;
+            let prove = ok_result(
+                &s,
+                &format!(r#"{{"op":"prove","design":"rotate","width":{width}}}"#),
+            );
+            assert_eq!(
+                row.to_string(),
+                prove.to_string(),
+                "sweep row and prove result must be byte-identical at width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_primes_the_prove_cache() {
+        let dir = std::env::temp_dir().join(format!(
+            "chicala-sweep-cache-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let handle = CacheHandle::new(Arc::new(crate::store::Store::open(&dir)));
+        let s = Server::new(Some(handle));
+        ok_result(&s, r#"{"op":"sweep","design":"rotate","min_width":3,"max_width":8}"#);
+        let cache = s.cache().unwrap();
+        let before = cache.stats();
+        // Every width in the swept range is now a pure cache hit for the
+        // point `prove` op (prove_net_with consults the installed hook).
+        let r = ok_result(&s, r#"{"op":"prove","design":"rotate","width":8}"#);
+        assert_eq!(json::get(&r, "status"), Some(&JsonValue::str("proved")));
+        let after = cache.stats();
+        assert_eq!(after.hits, before.hits + 1, "prove after sweep must hit the cache");
+        CacheHandle::uninstall_all();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_verify_ab_reports_zero_divergences() {
+        let s = uncached();
+        let resp = s.handle_line(
+            r#"{"op":"sweep","design":"rotate","min_width":2,"max_width":8,"verify_ab":true}"#,
+        );
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(json::get(&v, "ok"), Some(&JsonValue::Bool(true)), "resp: {resp}");
+        let meta = json::get(&v, "meta").unwrap();
+        let sweep = json::get(meta, "sweep").unwrap();
+        assert_eq!(
+            json::get(sweep, "divergences").and_then(json::as_u64),
+            Some(0),
+            "A/B tripwire must be quiet on a sound session"
+        );
+    }
+
+    #[test]
+    fn sweep_rejects_bad_ranges() {
+        let s = uncached();
+        for line in [
+            r#"{"op":"sweep","design":"no-such"}"#,
+            r#"{"op":"sweep","design":"rotate","min_width":1,"max_width":8}"#,
+            r#"{"op":"sweep","design":"rotate","min_width":8,"max_width":4}"#,
+            r#"{"op":"sweep","design":"rotate","max_width":9999}"#,
+        ] {
+            let v = json::parse(&s.handle_line(line)).unwrap();
+            assert_eq!(json::get(&v, "ok"), Some(&JsonValue::Bool(false)), "line: {line}");
+        }
     }
 
     #[test]

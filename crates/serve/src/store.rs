@@ -58,6 +58,9 @@ pub struct StoreStats {
     /// Entries unlinked because they failed verification: truncated,
     /// bit-flipped, wrong schema, or wrong key (digest collision).
     pub evictions: u64,
+    /// Entries unlinked by the size cap (least-recently-used first; see
+    /// `CHICALA_CACHE_MAX_BYTES`).
+    pub size_evictions: u64,
     /// Successful writes.
     pub writes: u64,
     /// Payload bytes served from the store.
@@ -69,24 +72,43 @@ pub struct StoreStats {
 /// A content-addressed artifact store rooted at one directory.
 pub struct Store {
     root: PathBuf,
+    /// Size budget for `.bin` entries; `None` = unbounded. When a write
+    /// pushes the footprint past the budget, least-recently-*used* entries
+    /// (by atime sidecar, falling back to file mtime) are unlinked until
+    /// the store fits again.
+    max_bytes: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    size_evictions: AtomicU64,
     writes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
 }
 
 impl Store {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a store rooted at `root`, with the size
+    /// budget taken from `CHICALA_CACHE_MAX_BYTES` (unset, empty, or `0`
+    /// = unbounded).
     pub fn open(root: impl Into<PathBuf>) -> Store {
+        let max_bytes = std::env::var("CHICALA_CACHE_MAX_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&n| n > 0);
+        Store::open_capped(root, max_bytes)
+    }
+
+    /// Opens a store with an explicit size budget (`None` = unbounded).
+    pub fn open_capped(root: impl Into<PathBuf>, max_bytes: Option<u64>) -> Store {
         let root = root.into();
         let _ = fs::create_dir_all(&root);
         Store {
             root,
+            max_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            size_evictions: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
@@ -131,6 +153,7 @@ impl Store {
             Some(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 self.bytes_read.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                self.touch_atime(&path);
                 Some(payload)
             }
             None => {
@@ -174,9 +197,72 @@ impl Store {
             Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
                 self.bytes_written.fetch_add(entry.len() as u64, Ordering::Relaxed);
+                self.touch_atime(&path);
+                self.enforce_budget();
             }
             Err(_) => {
                 let _ = fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Records a use of `path` in its atime sidecar (best effort; a store
+    /// that cannot track recency just approximates LRU with mtime).
+    fn touch_atime(&self, path: &Path) {
+        if self.max_bytes.is_none() {
+            return; // unbounded stores never evict, skip the sidecar I/O
+        }
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let _ = fs::write(path.with_extension("atime"), now.to_le_bytes());
+    }
+
+    /// Unlinks least-recently-used entries until the `.bin` footprint fits
+    /// the budget again. Best effort and silent: racing evictors at worst
+    /// re-remove files, and a failed unlink just leaves the store slightly
+    /// over budget until the next write.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.max_bytes else { return };
+        let mut entries: Vec<(u64, u64, PathBuf)> = Vec::new(); // (atime, size, path)
+        let mut total = 0u64;
+        let Ok(kinds) = fs::read_dir(&self.root) else { return };
+        for kind in kinds.flatten() {
+            let Ok(files) = fs::read_dir(kind.path()) else { continue };
+            for f in files.flatten() {
+                let path = f.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("bin") {
+                    continue;
+                }
+                let Ok(meta) = f.metadata() else { continue };
+                let atime = fs::read(path.with_extension("atime"))
+                    .ok()
+                    .and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+                    .or_else(|| {
+                        meta.modified().ok().and_then(|m| {
+                            m.duration_since(std::time::UNIX_EPOCH)
+                                .ok()
+                                .map(|d| d.as_nanos() as u64)
+                        })
+                    })
+                    .unwrap_or(0);
+                total += meta.len();
+                entries.push((atime, meta.len(), path));
+            }
+        }
+        if total <= budget {
+            return;
+        }
+        entries.sort(); // oldest atime first; ties break on size then path
+        for (_, size, path) in entries {
+            if total <= budget {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                let _ = fs::remove_file(path.with_extension("atime"));
+                total = total.saturating_sub(size);
+                self.size_evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -187,6 +273,7 @@ impl Store {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            size_evictions: self.size_evictions.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
@@ -405,6 +492,55 @@ mod tests {
         // Simulate a digest collision: ask for a different key at the same
         // address. The byte-exact key check must refuse.
         assert_eq!(store.lookup("prove", b"key-b", digest), None);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn size_cap_evicts_lru_and_stays_under_budget() {
+        let dir = std::env::temp_dir().join(format!(
+            "chicala-store-test-lru-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        // Each entry is ~90 bytes of framing + 64 bytes of payload; a
+        // 1000-byte budget holds about 6 of them.
+        let store = Store::open_capped(&dir, Some(1000));
+        let payload = [0xABu8; 64];
+        let keys: Vec<Vec<u8>> = (0..20u32).map(|i| format!("entry-{i}").into_bytes()).collect();
+        for (i, key) in keys.iter().enumerate() {
+            store.store("prove", key, digest_of(key), &payload);
+            // Keep entry 0 hot: touching it on every round makes it the
+            // most recently used, so LRU must spare it.
+            if i > 0 {
+                assert!(
+                    store.lookup("prove", &keys[0], digest_of(&keys[0])).is_some(),
+                    "hot entry must survive every eviction round (round {i})"
+                );
+            }
+        }
+        let (_, bytes) = store.disk_usage();
+        assert!(bytes <= 1000, "capped store must stay under budget, got {bytes}");
+        let s = store.stats();
+        assert!(s.size_evictions > 0, "filling past the budget must evict");
+        assert_eq!(s.evictions, 0, "size eviction is not corruption eviction");
+        // Cold entries were evicted: they miss, and a re-store transparently
+        // re-proves (the caller just sees a miss, never an error).
+        let cold = &keys[1];
+        assert_eq!(store.lookup("prove", cold, digest_of(cold)), None);
+        store.store("prove", cold, digest_of(cold), &payload);
+        assert_eq!(store.lookup("prove", cold, digest_of(cold)).as_deref(), Some(&payload[..]));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn uncapped_store_never_size_evicts() {
+        let store = temp_store("uncapped");
+        for i in 0..50u32 {
+            let key = format!("k{i}").into_bytes();
+            store.store("prove", &key, digest_of(&key), &[0u8; 256]);
+        }
+        assert_eq!(store.stats().size_evictions, 0);
+        assert_eq!(store.disk_usage().0, 50);
         let _ = fs::remove_dir_all(store.root());
     }
 
